@@ -1,0 +1,35 @@
+//! Heterogeneous ReRAM accelerator model.
+//!
+//! This crate assembles the crossbar substrate (`autohet-xbar`) into the
+//! paper's accelerator (Fig. 6, right): banks of tiles, four PEs per tile
+//! by default, one logical crossbar per PE (eight physical 1-bit slices).
+//! Crossbars within a tile are homogeneous; different tiles may carry
+//! different crossbar shapes — that is the crossbar-level heterogeneity
+//! AutoHet searches over.
+//!
+//! - [`hierarchy`]: accelerator configuration and tile bookkeeping.
+//! - [`mapping`]: how a layer's unfolded weight matrix splits into
+//!   crossbar-grid blocks (the geometry behind Eq. 4).
+//! - [`alloc`]: the baseline *tile-based* allocator (one layer per tile,
+//!   round-up — §2.2.2's wasteful scheme).
+//! - [`tile_shared`]: the paper's Algorithm 1 — two-pointer tile
+//!   combination that remaps multiple layers into shared tiles.
+//! - [`metrics`]: whole-model evaluation: utilization, itemized energy,
+//!   latency, area, and the paper's RUE metric.
+//! - [`controller`]: the global controller — programs weights into
+//!   functional crossbars and runs *numerical* inference through them.
+
+pub mod alloc;
+pub mod controller;
+pub mod hierarchy;
+pub mod mapping;
+pub mod metrics;
+pub mod noc;
+pub mod pipeline;
+pub mod tile_shared;
+
+pub use alloc::{allocate_tile_based, Allocation, LayerPlacement};
+pub use controller::{MappedLayer, MappedModel};
+pub use hierarchy::{AccelConfig, Tile};
+pub use metrics::{evaluate, EvalReport, LayerReport};
+pub use tile_shared::apply_tile_sharing;

@@ -1,0 +1,135 @@
+//! Geometry of the layer → crossbar-grid mapping.
+//!
+//! [`autohet_xbar::utilization::footprint`] counts how many crossbars a
+//! layer occupies; this module produces the exact *block ranges*: which
+//! rows/columns of the unfolded `Cin·k² × Cout` weight matrix land on each
+//! crossbar of the grid. The functional controller uses these ranges both
+//! to program crossbars and to slice im2col activations at inference time.
+//!
+//! Invariants (property-tested): row ranges are contiguous, disjoint,
+//! cover exactly `Cin·k²` rows, and each fits its crossbar; ditto columns.
+
+use autohet_dnn::Layer;
+use autohet_xbar::XbarShape;
+use std::ops::Range;
+
+/// Row ranges of the weight matrix per crossbar-grid row.
+///
+/// With the kernel-per-column scheme each grid row holds `⌊r/k²⌋` whole
+/// kernels' worth of rows; when a kernel is taller than the crossbar
+/// (`k² > r`) it is split into `⌈k²/r⌉` vertical chunks.
+pub fn row_ranges(layer: &Layer, shape: XbarShape) -> Vec<Range<usize>> {
+    let k2 = layer.kernel_elems();
+    let r = shape.rows as usize;
+    let cin = layer.in_channels;
+    let mut out = Vec::new();
+    if k2 <= r {
+        let kpc = r / k2;
+        let mut ch = 0;
+        while ch < cin {
+            let end = (ch + kpc).min(cin);
+            out.push(ch * k2..end * k2);
+            ch = end;
+        }
+    } else {
+        let span = k2.div_ceil(r);
+        for ch in 0..cin {
+            for part in 0..span {
+                let start = ch * k2 + part * r;
+                let end = (start + r).min((ch + 1) * k2);
+                out.push(start..end);
+            }
+        }
+    }
+    out
+}
+
+/// Column ranges of the weight matrix per crossbar-grid column: plain
+/// chunks of the crossbar width.
+pub fn col_ranges(layer: &Layer, shape: XbarShape) -> Vec<Range<usize>> {
+    let c = shape.cols as usize;
+    let cout = layer.out_channels;
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < cout {
+        let end = (start + c).min(cout);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_dnn::Layer;
+    use autohet_xbar::utilization::footprint;
+
+    fn check_invariants(layer: &Layer, shape: XbarShape) {
+        let rr = row_ranges(layer, shape);
+        let cc = col_ranges(layer, shape);
+        let fp = footprint(layer, shape);
+        assert_eq!(rr.len(), fp.xb_rows as usize, "grid rows for {shape}");
+        assert_eq!(cc.len(), fp.xb_cols as usize, "grid cols for {shape}");
+        // Contiguous disjoint cover of the weight matrix rows.
+        let mut cursor = 0;
+        for r in &rr {
+            assert_eq!(r.start, cursor);
+            assert!(!r.is_empty() && r.len() <= shape.rows as usize);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, layer.weight_rows());
+        let mut cursor = 0;
+        for c in &cc {
+            assert_eq!(c.start, cursor);
+            assert!(!c.is_empty() && c.len() <= shape.cols as usize);
+            cursor = c.end;
+        }
+        assert_eq!(cursor, layer.weight_cols());
+    }
+
+    #[test]
+    fn ranges_cover_weight_matrix_for_all_candidates() {
+        let layers = [
+            Layer::conv(0, 3, 4, 3, 1, 1, 32),
+            Layer::conv(0, 12, 128, 3, 1, 1, 16),
+            Layer::conv(0, 128, 128, 3, 1, 1, 16),
+            Layer::conv(0, 3, 64, 7, 2, 3, 224),
+            Layer::fc(0, 4096, 1000),
+            Layer::fc(0, 1000, 10),
+        ];
+        for l in &layers {
+            for shape in autohet_xbar::geometry::all_candidates() {
+                check_invariants(l, shape);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_never_straddle_grid_rows_when_they_fit() {
+        // Each range must hold whole kernels (multiples of k²) so one MVM's
+        // partial sums stay kernel-aligned.
+        let l = Layer::conv(0, 12, 128, 3, 1, 1, 16);
+        for r in row_ranges(&l, XbarShape::square(64)) {
+            assert_eq!(r.start % 9, 0);
+            assert_eq!(r.len() % 9, 0);
+        }
+    }
+
+    #[test]
+    fn fig5_grid_is_2x2_on_64() {
+        let l = Layer::conv(0, 12, 128, 3, 1, 1, 16);
+        let rr = row_ranges(&l, XbarShape::square(64));
+        assert_eq!(rr, vec![0..63, 63..108]); // 7 kernels then 5 kernels
+        let cc = col_ranges(&l, XbarShape::square(64));
+        assert_eq!(cc, vec![0..64, 64..128]);
+    }
+
+    #[test]
+    fn split_kernel_chunks_by_crossbar_height() {
+        // 7×7 kernel (49 rows) on 32-row crossbars → chunks 32 + 17.
+        let l = Layer::conv(0, 2, 8, 7, 1, 3, 28);
+        let rr = row_ranges(&l, XbarShape::square(32));
+        assert_eq!(rr, vec![0..32, 32..49, 49..81, 81..98]);
+    }
+}

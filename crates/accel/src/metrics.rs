@@ -1,0 +1,316 @@
+//! Whole-model evaluation: the hardware feedback loop of Fig. 6.
+//!
+//! Given a model and a per-layer crossbar strategy, [`evaluate`] performs
+//! allocation (tile-based, optionally followed by Algorithm 1 sharing) and
+//! produces every metric the paper reports:
+//!
+//! - **Crossbar utilization** `U`: weight-holding cells over *allocated*
+//!   cells (so tile round-up waste and tile-sharing gains both show up, as
+//!   in Figs. 4, 9b, 10).
+//! - **Energy** `E` [nJ]: per-layer dynamic activity plus provisioned-
+//!   hardware leakage over the inference (Fig. 9c, 10).
+//! - **Latency** [ns] and **area** [µm²] (Table 5).
+//! - **RUE** `= U[%] / E[nJ]` — the paper's joint metric (§2.2.1).
+
+use crate::alloc::{allocate_tile_based, Allocation, LayerPlacement};
+use crate::hierarchy::AccelConfig;
+use crate::tile_shared::{apply_tile_sharing, SharingReport};
+use autohet_dnn::Model;
+use autohet_xbar::energy::{layer_energy, static_power, LayerEnergy};
+use autohet_xbar::latency::layer_latency_ns;
+use autohet_xbar::{area, XbarShape};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer slice of an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer index within the model.
+    pub layer_index: usize,
+    /// Assigned crossbar shape.
+    pub shape: XbarShape,
+    /// Crossbars occupied by the layer.
+    pub occupied_xbars: u64,
+    /// Tiles granted before sharing.
+    pub tiles: u64,
+    /// Eq. 4 crossbar-level utilization.
+    pub mapping_utilization: f64,
+    /// Latency of this layer [ns].
+    pub latency_ns: f64,
+    /// Dynamic energy of this layer [nJ] (leakage is accounted globally).
+    pub dynamic_nj: f64,
+}
+
+/// Aggregated evaluation of one (model, strategy) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Model name.
+    pub model_name: String,
+    /// Per-layer details.
+    pub layers: Vec<LayerReport>,
+    /// Total crossbars occupied by weights.
+    pub occupied_xbars: u64,
+    /// Total crossbars allocated (after sharing, if enabled).
+    pub allocated_xbars: u64,
+    /// Total tiles allocated (after sharing, if enabled).
+    pub tiles: u64,
+    /// Tile-sharing outcome (None when sharing is disabled).
+    pub sharing: Option<SharingReport>,
+    /// Global crossbar utilization over allocated cells, in [0, 1].
+    pub utilization: f64,
+    /// Eq. 4 utilization over *occupied* crossbars only (no tile effects).
+    pub mapping_utilization: f64,
+    /// Itemized energy [nJ].
+    pub energy: LayerEnergy,
+    /// Total inference latency [ns] (includes NoC latency when modeled).
+    pub latency_ns: f64,
+    /// Total silicon area [µm²].
+    pub area_um2: f64,
+    /// Inter-tile traffic report (Some iff `AccelConfig::model_noc`).
+    pub noc: Option<crate::noc::NocReport>,
+}
+
+impl EvalReport {
+    /// Total energy [nJ], including NoC energy when modeled.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy.total() + self.noc.map_or(0.0, |n| n.energy_nj)
+    }
+
+    /// Utilization as the percentage the paper plots.
+    pub fn utilization_pct(&self) -> f64 {
+        self.utilization * 100.0
+    }
+
+    /// The paper's Ratio of Utilization and Energy: `U[%] / E[nJ]`.
+    pub fn rue(&self) -> f64 {
+        self.utilization_pct() / self.energy_nj()
+    }
+}
+
+/// Evaluate `model` under `strategy` on an accelerator configured by `cfg`.
+///
+/// ```
+/// use autohet_accel::{evaluate, AccelConfig};
+/// use autohet_xbar::XbarShape;
+///
+/// let model = autohet_dnn::zoo::vgg16();
+/// let strategy = vec![XbarShape::new(576, 512); model.layers.len()];
+/// let report = evaluate(&model, &strategy, &AccelConfig::default().with_tile_sharing());
+/// assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+/// assert!(report.rue() > 0.0);
+/// ```
+pub fn evaluate(model: &Model, strategy: &[XbarShape], cfg: &AccelConfig) -> EvalReport {
+    let mut alloc = allocate_tile_based(model, strategy, cfg.pes_per_tile);
+    let sharing = cfg.tile_shared.then(|| apply_tile_sharing(&mut alloc));
+    evaluate_allocation(model, &alloc, sharing, cfg)
+}
+
+fn evaluate_allocation(
+    model: &Model,
+    alloc: &Allocation,
+    sharing: Option<SharingReport>,
+    cfg: &AccelConfig,
+) -> EvalReport {
+    let p = &cfg.cost;
+
+    // Latency first: leakage charges hardware for the whole inference.
+    let mut layers = Vec::with_capacity(model.layers.len());
+    let mut latency_ns = 0.0;
+    for pl in &alloc.per_layer {
+        let layer = &model.layers[pl.layer_index];
+        let lat = layer_latency_ns(layer, &pl.footprint, p);
+        latency_ns += lat;
+        layers.push((pl, lat));
+    }
+
+    // Inter-tile traffic (optional): its latency extends the window the
+    // provisioned hardware leaks over.
+    let noc = cfg
+        .model_noc
+        .then(|| crate::noc::evaluate_noc(model, alloc, &cfg.noc));
+    if let Some(n) = &noc {
+        latency_ns += n.latency_ns;
+    }
+
+    // Dynamic energy per layer.
+    let mut energy = LayerEnergy::default();
+    let mut reports = Vec::with_capacity(layers.len());
+    for (pl, lat) in &layers {
+        let layer = &model.layers[pl.layer_index];
+        // Leakage handled globally below: charge zero allocation here.
+        let e = layer_energy(layer, &pl.footprint, 0, 0.0, p);
+        energy.accumulate(&e);
+        reports.push(LayerReport {
+            layer_index: pl.layer_index,
+            shape: pl.shape,
+            occupied_xbars: pl.footprint.total_xbars(),
+            tiles: pl.tiles,
+            mapping_utilization: pl.footprint.utilization(),
+            latency_ns: *lat,
+            dynamic_nj: e.total(),
+        });
+    }
+
+    // Leakage and area from the (possibly shared) tile population.
+    let mut area_um2 = area::tile_overhead_area(alloc.tiles.len() as u64, p);
+    for (shape, n_tiles) in alloc.tiles_by_shape() {
+        let allocated = n_tiles * cfg.pes_per_tile as u64;
+        energy.leakage += static_power(allocated, shape, p) * latency_ns * 1e-9;
+        area_um2 += area::crossbar_area(allocated, shape, p);
+    }
+
+    // Utilizations.
+    let used_cells: u64 = alloc
+        .per_layer
+        .iter()
+        .map(|pl| pl.footprint.used_cells)
+        .sum();
+    let provisioned: u64 = alloc
+        .per_layer
+        .iter()
+        .map(|pl| pl.footprint.provisioned_cells())
+        .sum();
+    let allocated_cells = alloc.allocated_cells();
+
+    EvalReport {
+        model_name: model.name.clone(),
+        layers: reports,
+        occupied_xbars: alloc.occupied_xbars(),
+        allocated_xbars: alloc.allocated_xbars(),
+        tiles: alloc.tiles.len() as u64,
+        sharing,
+        utilization: used_cells as f64 / allocated_cells as f64,
+        mapping_utilization: used_cells as f64 / provisioned as f64,
+        energy,
+        latency_ns,
+        area_um2,
+        noc,
+    }
+}
+
+/// Convenience: evaluate a homogeneous accelerator (every layer on the
+/// same crossbar shape) — the paper's baselines.
+pub fn evaluate_homogeneous(model: &Model, shape: XbarShape, cfg: &AccelConfig) -> EvalReport {
+    evaluate(model, &vec![shape; model.layers.len()], cfg)
+}
+
+/// Re-export used by sweeps that need direct placement access.
+pub fn placements(model: &Model, strategy: &[XbarShape], capacity: u32) -> Vec<LayerPlacement> {
+    allocate_tile_based(model, strategy, capacity).per_layer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_dnn::zoo;
+    use autohet_xbar::geometry::SQUARE_CANDIDATES;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::default()
+    }
+
+    #[test]
+    fn utilization_bounds_and_ordering() {
+        let m = zoo::vgg16();
+        for shape in SQUARE_CANDIDATES {
+            let r = evaluate_homogeneous(&m, shape, &cfg());
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+            // Allocation utilization can never beat mapping utilization.
+            assert!(r.utilization <= r.mapping_utilization + 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_crossbars_use_better_but_burn_more_energy() {
+        // The paper's central tension (§2.2.3 / Fig. 9): 32×32 wins
+        // utilization, 512×512 wins energy.
+        let m = zoo::vgg16();
+        let small = evaluate_homogeneous(&m, XbarShape::square(32), &cfg());
+        let large = evaluate_homogeneous(&m, XbarShape::square(512), &cfg());
+        assert!(small.mapping_utilization > large.mapping_utilization);
+        assert!(small.energy_nj() > large.energy_nj());
+        assert!(small.area_um2 > large.area_um2);
+    }
+
+    #[test]
+    fn tile_sharing_improves_utilization_and_never_energy_hurts() {
+        let m = zoo::alexnet();
+        let strategy = vec![XbarShape::square(64); m.layers.len()];
+        let base = evaluate(&m, &strategy, &cfg());
+        let shared = evaluate(&m, &strategy, &cfg().with_tile_sharing());
+        assert!(shared.tiles <= base.tiles);
+        assert!(shared.utilization >= base.utilization - 1e-12);
+        assert!(shared.energy_nj() <= base.energy_nj() + 1e-9);
+        assert!(shared.rue() >= base.rue() - 1e-15);
+        assert!(shared.sharing.is_some());
+        assert!(base.sharing.is_none());
+    }
+
+    #[test]
+    fn latency_is_sum_of_layers() {
+        let m = zoo::alexnet();
+        let r = evaluate_homogeneous(&m, XbarShape::square(128), &cfg());
+        let s: f64 = r.layers.iter().map(|l| l.latency_ns).sum();
+        assert!((r.latency_ns - s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rue_is_percent_over_nj() {
+        let m = zoo::micro_cnn();
+        let r = evaluate_homogeneous(&m, XbarShape::square(64), &cfg());
+        assert!((r.rue() - r.utilization * 100.0 / r.energy.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig5_tile_level_utilization_is_27_over_128() {
+        // Fig. 5: the 108×128 weight block on a 128×128 crossbar in a
+        // 4-crossbar tile utilizes 27/128 of the granted cells.
+        let m = autohet_dnn::ModelBuilder::new("fig5", autohet_dnn::Dataset::Cifar10)
+            .conv_spec(12, 3, 1, 1) // feeder layer to set Cin=12
+            .conv_spec(128, 3, 1, 1)
+            .build();
+        let r = evaluate(
+            &m,
+            &[XbarShape::square(128), XbarShape::square(128)],
+            &cfg(),
+        );
+        let l1 = &r.layers[1];
+        assert_eq!(l1.occupied_xbars, 1);
+        assert_eq!(l1.tiles, 1);
+        // Allocation-level utilization for that layer alone:
+        let pl = placements(&m, &[XbarShape::square(128), XbarShape::square(128)], 4);
+        let u = pl[1].footprint.utilization_over(pl[1].tiles * 4);
+        assert!((u - 27.0 / 128.0).abs() < 1e-12, "got {u}");
+    }
+
+    #[test]
+    fn vgg16_magnitudes_are_in_paper_range() {
+        // Shape calibration (EXPERIMENTS.md): VGG16 latency ~2-3e6 ns and
+        // RUE within a few orders of the paper's 1e-5 scale.
+        let m = zoo::vgg16();
+        let r = evaluate_homogeneous(&m, XbarShape::square(512), &cfg());
+        assert!(r.latency_ns > 1e6 && r.latency_ns < 1e7, "latency {}", r.latency_ns);
+        assert!(r.energy_nj() > 1e5 && r.energy_nj() < 1e9, "energy {}", r.energy_nj());
+    }
+
+    #[test]
+    fn resnet152_evaluates() {
+        let m = zoo::resnet152();
+        let r = evaluate_homogeneous(&m, XbarShape::square(256), &cfg());
+        assert_eq!(r.layers.len(), 156);
+        assert!(r.energy_nj() > 0.0 && r.latency_ns > 0.0 && r.area_um2 > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_strategy_mixes_shapes() {
+        let m = zoo::micro_cnn();
+        let strategy = vec![
+            XbarShape::square(32),
+            XbarShape::new(36, 32),
+            XbarShape::square(64),
+            XbarShape::new(72, 64),
+        ];
+        let r = evaluate(&m, &strategy, &cfg());
+        let shapes: Vec<XbarShape> = r.layers.iter().map(|l| l.shape).collect();
+        assert_eq!(shapes, strategy);
+    }
+}

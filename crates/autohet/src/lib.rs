@@ -1,0 +1,64 @@
+//! # AutoHet — automated heterogeneous ReRAM-based accelerator search
+//!
+//! A from-scratch Rust reproduction of *AutoHet: An Automated Heterogeneous
+//! ReRAM-Based Accelerator for DNN Inference* (ICPP '24). AutoHet assigns
+//! each DNN layer its own crossbar shape — square or rectangle — using a
+//! DDPG reinforcement-learning agent whose reward balances crossbar
+//! utilization against energy, and packs multiple layers into shared tiles
+//! (Algorithm 1) to eliminate allocation waste.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use autohet::prelude::*;
+//!
+//! let model = autohet_dnn::zoo::micro_cnn();
+//! let cfg = AccelConfig::default().with_tile_sharing();
+//! let search = RlSearchConfig { episodes: 40, ..RlSearchConfig::default() };
+//! let outcome = rl_search(&model, &paper_hybrid_candidates(), &cfg, &search);
+//! let best_homo = best_homogeneous(&model, &AccelConfig::default()).1;
+//! assert!(outcome.best_report.rue() >= best_homo.rue() * 0.9);
+//! ```
+//!
+//! ## Layout
+//!
+//! - [`env`]: the RL environment — the paper's Eq. 1 state vector and
+//!   Eq. 2 reward over hardware feedback.
+//! - [`search`]: strategy search drivers — [`search::rl`] (the paper),
+//!   plus greedy / random / exhaustive comparators.
+//! - [`homogeneous`]: the five fixed-size baselines and Fig. 3's manual
+//!   heterogeneous configuration.
+//! - [`ablation`]: the §4.3 Base / +He / +Hy / All study.
+//! - [`sensitivity`]: the §4.4 sweeps (SXB:RXB ratio, candidate count,
+//!   PEs per tile).
+
+pub mod ablation;
+pub mod env;
+pub mod homogeneous;
+pub mod multi_model;
+pub mod pareto;
+pub mod persist;
+pub mod search;
+pub mod sensitivity;
+pub mod studies;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use crate::ablation::{run_ablation, AblationStage};
+    pub use crate::env::AutoHetEnv;
+    pub use crate::homogeneous::{best_homogeneous, homogeneous_reports, manual_hetero_vgg16};
+    pub use crate::search::annealing::{annealing_search, AnnealingConfig};
+    pub use crate::search::dqn::{dqn_search, DqnSearchConfig};
+    pub use crate::search::exhaustive::exhaustive_search;
+    pub use crate::search::greedy::{greedy_layerwise_rue, greedy_utilization};
+    pub use crate::search::random::random_search;
+    pub use crate::search::rl::{rl_search, RlSearchConfig, SearchOutcome};
+    pub use autohet_accel::{evaluate, AccelConfig, EvalReport};
+    pub use autohet_xbar::geometry::{
+        all_candidates, mixed_candidates, paper_hybrid_candidates, RECT_CANDIDATES,
+        SQUARE_CANDIDATES,
+    };
+    pub use autohet_xbar::XbarShape;
+}
+
+pub use prelude::*;

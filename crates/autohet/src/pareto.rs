@@ -1,0 +1,176 @@
+//! Multi-objective exploration of the utilization/energy trade-off
+//! (beyond-paper extension, DESIGN.md §6).
+//!
+//! The paper folds both objectives into one scalar (`R = u/e`, Eq. 2);
+//! this module sweeps the exponents of the generalized reward `u^α / e`
+//! and collects the resulting configurations, exposing the Pareto front a
+//! designer would actually choose from: how much energy one extra point
+//! of utilization costs at each operating point.
+
+use crate::search::rl::{rl_search, RlSearchConfig};
+use autohet_accel::{AccelConfig, EvalReport};
+use autohet_dnn::Model;
+use autohet_xbar::XbarShape;
+
+/// One operating point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Utilization exponent α used for this search (`reward = u^α / e`).
+    pub alpha: f64,
+    /// Resulting strategy.
+    pub strategy: Vec<XbarShape>,
+    /// Resulting hardware report.
+    pub report: EvalReport,
+}
+
+impl ParetoPoint {
+    /// `(utilization %, energy nJ)` objective pair.
+    pub fn objectives(&self) -> (f64, f64) {
+        (self.report.utilization_pct(), self.report.energy_nj())
+    }
+}
+
+/// Run one RL search per `alpha`, each maximizing `u^α / e`.
+pub fn pareto_sweep(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    alphas: &[f64],
+) -> Vec<ParetoPoint> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let mut s = *scfg;
+            s.reward_weights = (alpha, 1.0);
+            let outcome = rl_search(model, candidates, cfg, &s);
+            ParetoPoint {
+                alpha,
+                strategy: outcome.best_strategy,
+                report: outcome.best_report,
+            }
+        })
+        .collect()
+}
+
+/// Indices of the non-dominated points (maximize utilization, minimize
+/// energy). A point dominates another when it is no worse on both axes
+/// and strictly better on one.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        let (ui, ei) = p.objectives();
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let (uj, ej) = q.objectives();
+            let dominates = uj >= ui && ej <= ei && (uj > ui || ej < ei);
+            if dominates {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_rl::DdpgConfig;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    fn quick() -> RlSearchConfig {
+        RlSearchConfig {
+            episodes: 40,
+            ddpg: DdpgConfig {
+                seed: 31,
+                hidden: 32,
+                batch: 32,
+                ..DdpgConfig::default()
+            },
+            train_steps: 4,
+            ..RlSearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_alpha() {
+        let m = autohet_dnn::zoo::micro_cnn();
+        let pts = pareto_sweep(
+            &m,
+            &paper_hybrid_candidates(),
+            &AccelConfig::default(),
+            &quick(),
+            &[0.5, 1.0, 3.0],
+        );
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert_eq!(p.strategy.len(), m.layers.len());
+            let (u, e) = p.objectives();
+            assert!(u > 0.0 && e > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_utilization_weight_biases_toward_utilization() {
+        // α = 6 values utilization far above energy: the chosen point's
+        // utilization must be ≥ the energy-biased point's.
+        let m = autohet_dnn::zoo::micro_cnn();
+        let pts = pareto_sweep(
+            &m,
+            &paper_hybrid_candidates(),
+            &AccelConfig::default(),
+            &quick(),
+            &[0.25, 6.0],
+        );
+        let (u_energy_biased, _) = pts[0].objectives();
+        let (u_util_biased, _) = pts[1].objectives();
+        assert!(
+            u_util_biased >= u_energy_biased - 1e-9,
+            "{u_util_biased} < {u_energy_biased}"
+        );
+    }
+
+    #[test]
+    fn front_is_non_dominated() {
+        let m = autohet_dnn::zoo::micro_cnn();
+        let pts = pareto_sweep(
+            &m,
+            &paper_hybrid_candidates(),
+            &AccelConfig::default(),
+            &quick(),
+            &[0.25, 0.5, 1.0, 2.0, 6.0],
+        );
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        for &i in &front {
+            let (ui, ei) = pts[i].objectives();
+            for (j, q) in pts.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (uj, ej) = q.objectives();
+                assert!(
+                    !(uj >= ui && ej <= ei && (uj > ui || ej < ei)),
+                    "front point {i} dominated by {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_of_identical_points_keeps_all() {
+        let m = autohet_dnn::zoo::micro_cnn();
+        let one = pareto_sweep(
+            &m,
+            &paper_hybrid_candidates(),
+            &AccelConfig::default(),
+            &quick(),
+            &[1.0],
+        );
+        let pts = vec![one[0].clone(), one[0].clone()];
+        assert_eq!(pareto_front(&pts).len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Strategy persistence.
+//!
+//! §4.5 of the paper: "the RL training is executed once but the decision
+//! result is used many times" — which requires saving that decision. This
+//! module serializes a per-layer crossbar strategy to a small, stable,
+//! human-readable text format:
+//!
+//! ```text
+//! # autohet-strategy v1
+//! # model: VGG16 (16 layers)
+//! L1 576x512
+//! L2 72x64
+//! ...
+//! ```
+//!
+//! Plain text (not JSON) keeps the offline dependency set to the
+//! whitelisted crates and makes strategies diffable in code review.
+
+use autohet_xbar::XbarShape;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Format version tag written to every file.
+const HEADER: &str = "# autohet-strategy v1";
+
+/// Serialize a strategy (with an optional model note).
+///
+/// ```
+/// use autohet::persist::{strategy_from_str, strategy_to_string};
+/// use autohet::prelude::paper_hybrid_candidates;
+///
+/// let strategy = paper_hybrid_candidates();
+/// let text = strategy_to_string(&strategy, "demo");
+/// assert_eq!(strategy_from_str(&text).unwrap(), strategy);
+/// ```
+pub fn strategy_to_string(strategy: &[XbarShape], model_note: &str) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    if !model_note.is_empty() {
+        let _ = writeln!(out, "# model: {model_note}");
+    }
+    for (i, s) in strategy.iter().enumerate() {
+        let _ = writeln!(out, "L{} {}", i + 1, s);
+    }
+    out
+}
+
+/// Errors from parsing a strategy file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong version header.
+    BadHeader,
+    /// Line did not match `L<k> <rows>x<cols>`.
+    BadLine(String),
+    /// Layer indices were not 1..=N in order.
+    BadIndex(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing '{HEADER}' header"),
+            ParseError::BadLine(l) => write!(f, "unparseable line: {l}"),
+            ParseError::BadIndex(l) => write!(f, "out-of-order layer index: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a strategy string (inverse of [`strategy_to_string`]).
+pub fn strategy_from_str(text: &str) -> Result<Vec<XbarShape>, ParseError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(HEADER) {
+        return Err(ParseError::BadHeader);
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (tag, shape) = line
+            .split_once(' ')
+            .ok_or_else(|| ParseError::BadLine(line.into()))?;
+        let idx: usize = tag
+            .strip_prefix('L')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ParseError::BadLine(line.into()))?;
+        if idx != out.len() + 1 {
+            return Err(ParseError::BadIndex(line.into()));
+        }
+        let (r, c) = shape
+            .split_once('x')
+            .ok_or_else(|| ParseError::BadLine(line.into()))?;
+        let rows: u32 = r.trim().parse().map_err(|_| ParseError::BadLine(line.into()))?;
+        let cols: u32 = c.trim().parse().map_err(|_| ParseError::BadLine(line.into()))?;
+        if rows == 0 || cols == 0 {
+            return Err(ParseError::BadLine(line.into()));
+        }
+        out.push(XbarShape::new(rows, cols));
+    }
+    Ok(out)
+}
+
+/// Write a strategy to a file.
+pub fn save_strategy(path: &Path, strategy: &[XbarShape], model_note: &str) -> io::Result<()> {
+    fs::write(path, strategy_to_string(strategy, model_note))
+}
+
+/// Read a strategy from a file.
+pub fn load_strategy(path: &Path) -> io::Result<Vec<XbarShape>> {
+    let text = fs::read_to_string(path)?;
+    strategy_from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    fn sample() -> Vec<XbarShape> {
+        paper_hybrid_candidates()
+    }
+
+    #[test]
+    fn round_trips_through_string() {
+        let s = sample();
+        let text = strategy_to_string(&s, "demo (5 layers)");
+        assert_eq!(strategy_from_str(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn round_trips_through_file() {
+        let s = sample();
+        let path = std::env::temp_dir().join("autohet_strategy_test.txt");
+        save_strategy(&path, &s, "demo").unwrap();
+        assert_eq!(load_strategy(&path).unwrap(), s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(strategy_from_str("L1 32x32\n"), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let text = format!("{HEADER}\nL1 32by32\n");
+        assert!(matches!(
+            strategy_from_str(&text),
+            Err(ParseError::BadLine(_))
+        ));
+        let text = format!("{HEADER}\nL1 0x32\n");
+        assert!(matches!(
+            strategy_from_str(&text),
+            Err(ParseError::BadLine(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_order_indices() {
+        let text = format!("{HEADER}\nL2 32x32\n");
+        assert!(matches!(
+            strategy_from_str(&text),
+            Err(ParseError::BadIndex(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = format!("{HEADER}\n# a note\n\nL1 36x32\n# more\nL2 72x64\n");
+        let s = strategy_from_str(&text).unwrap();
+        assert_eq!(s, vec![XbarShape::new(36, 32), XbarShape::new(72, 64)]);
+    }
+
+    #[test]
+    fn empty_strategy_round_trips() {
+        let text = strategy_to_string(&[], "");
+        assert_eq!(strategy_from_str(&text).unwrap(), vec![]);
+    }
+}

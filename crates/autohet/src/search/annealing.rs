@@ -1,0 +1,156 @@
+//! Simulated-annealing comparator.
+//!
+//! A classical single-solution metaheuristic over the same `Cᴺ` space the
+//! RL agent searches: start from a uniform strategy, propose single-layer
+//! mutations, accept improvements always and regressions with probability
+//! `exp(Δ/T)` under a geometric cooling schedule. Beyond-paper baseline
+//! (DESIGN.md §6): it needs no learned model, so it isolates how much of
+//! AutoHet's win comes from *learning* layer features versus merely
+//! *searching* the space.
+
+use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use autohet_dnn::Model;
+use autohet_xbar::XbarShape;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Annealer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealingConfig {
+    /// Evaluation budget (comparable to RL episodes).
+    pub iterations: usize,
+    /// Initial temperature, in units of *relative* RUE change.
+    pub t0: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            iterations: 300,
+            t0: 0.3,
+            cooling: 0.99,
+            seed: 0,
+        }
+    }
+}
+
+/// Run simulated annealing; returns the best strategy visited.
+pub fn annealing_search(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    acfg: &AnnealingConfig,
+) -> (Vec<XbarShape>, EvalReport) {
+    assert!(!candidates.is_empty() && acfg.iterations >= 1);
+    let n = model.layers.len();
+    let mut rng = SmallRng::seed_from_u64(acfg.seed ^ 0xA44E);
+
+    // Start from the middle candidate applied homogeneously.
+    let mut current: Vec<XbarShape> = vec![candidates[candidates.len() / 2]; n];
+    let mut current_report = evaluate(model, &current, cfg);
+    let mut best = (current.clone(), current_report.clone());
+    let mut temp = acfg.t0;
+
+    for _ in 0..acfg.iterations {
+        // Propose: re-roll one layer's shape.
+        let li = rng.gen_range(0..n);
+        let old = current[li];
+        let mut pick = candidates[rng.gen_range(0..candidates.len())];
+        if candidates.len() > 1 {
+            while pick == old {
+                pick = candidates[rng.gen_range(0..candidates.len())];
+            }
+        }
+        current[li] = pick;
+        let proposal = evaluate(model, &current, cfg);
+
+        // Relative RUE improvement (positive = better).
+        let delta = (proposal.rue() - current_report.rue()) / current_report.rue();
+        let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temp.max(1e-12)).exp();
+        if accept {
+            current_report = proposal;
+            if current_report.rue() > best.1.rue() {
+                best = (current.clone(), current_report.clone());
+            }
+        } else {
+            current[li] = old;
+        }
+        temp *= acfg.cooling;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::exhaustive::exhaustive_search;
+    use autohet_dnn::zoo;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let acfg = AnnealingConfig {
+            iterations: 40,
+            seed: 2,
+            ..AnnealingConfig::default()
+        };
+        let (s1, r1) = annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg);
+        let (s2, r2) = annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.rue(), r2.rue());
+    }
+
+    #[test]
+    fn annealing_approaches_the_oracle_on_micro_cnn() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = paper_hybrid_candidates();
+        let (_, oracle) = exhaustive_search(&m, &cands, &cfg, 1_000);
+        let (_, sa) = annealing_search(
+            &m,
+            &cands,
+            &cfg,
+            &AnnealingConfig {
+                iterations: 200,
+                seed: 5,
+                ..AnnealingConfig::default()
+            },
+        );
+        assert!(sa.rue() >= oracle.rue() * 0.9, "sa {} oracle {}", sa.rue(), oracle.rue());
+    }
+
+    #[test]
+    fn annealing_never_returns_worse_than_its_start() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = paper_hybrid_candidates();
+        let start = evaluate(&m, &vec![cands[cands.len() / 2]; m.layers.len()], &cfg);
+        let (_, sa) = annealing_search(
+            &m,
+            &cands,
+            &cfg,
+            &AnnealingConfig {
+                iterations: 30,
+                seed: 8,
+                ..AnnealingConfig::default()
+            },
+        );
+        assert!(sa.rue() >= start.rue());
+    }
+
+    #[test]
+    fn single_candidate_space_is_a_fixed_point() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = vec![XbarShape::square(64)];
+        let (s, _) = annealing_search(&m, &cands, &cfg, &AnnealingConfig::default());
+        assert!(s.iter().all(|&x| x == XbarShape::square(64)));
+    }
+}

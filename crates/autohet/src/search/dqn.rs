@@ -1,0 +1,197 @@
+//! DQN-based search: the discrete-action alternative to the paper's DDPG.
+//!
+//! Same environment, same episode protocol (terminal reward shared by all
+//! steps), but the agent picks candidate *indices* directly instead of
+//! emitting a continuous value that gets discretized. Useful as an agent
+//! ablation: it shows how much of AutoHet's result depends on the DDPG
+//! formulation specifically (spoiler per our experiments: little — the
+//! environment and reward do the heavy lifting).
+
+use crate::env::AutoHetEnv;
+use crate::search::rl::EpisodeRecord;
+use autohet_accel::{AccelConfig, EvalReport};
+use autohet_dnn::Model;
+use autohet_rl::{DiscreteExperience, Dqn, DqnConfig};
+use autohet_xbar::XbarShape;
+use serde::{Deserialize, Serialize};
+
+/// DQN search hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnSearchConfig {
+    /// Search rounds.
+    pub episodes: usize,
+    /// Agent hyperparameters (`state_dim`/`actions` are overridden).
+    pub dqn: DqnConfig,
+    /// Gradient updates after each episode.
+    pub train_steps: usize,
+}
+
+impl Default for DqnSearchConfig {
+    fn default() -> Self {
+        DqnSearchConfig {
+            episodes: 300,
+            dqn: DqnConfig::default(),
+            train_steps: 8,
+        }
+    }
+}
+
+/// Result of a DQN search.
+#[derive(Debug, Clone)]
+pub struct DqnSearchOutcome {
+    pub best_strategy: Vec<XbarShape>,
+    pub best_report: EvalReport,
+    pub history: Vec<EpisodeRecord>,
+}
+
+impl DqnSearchOutcome {
+    /// Best raw RUE found.
+    pub fn best_rue(&self) -> f64 {
+        self.best_report.rue()
+    }
+}
+
+/// Run the DQN search (same protocol as [`crate::search::rl::rl_search`]).
+pub fn dqn_search(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &DqnSearchConfig,
+) -> DqnSearchOutcome {
+    let env = AutoHetEnv::new(model, candidates, *cfg);
+    let n = env.num_layers();
+    let c = candidates.len();
+    let mut agent = Dqn::new(DqnConfig {
+        state_dim: 10,
+        actions: c,
+        ..scfg.dqn
+    });
+
+    let mut best: Option<(Vec<XbarShape>, EvalReport)> = None;
+    let mut history = Vec::with_capacity(scfg.episodes);
+
+    for episode in 0..scfg.episodes {
+        let mut actions = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n + 1);
+        let (mut prev_a, mut prev_u) = (0.0, 0.0);
+        for k in 0..n {
+            let s = env.state(k, prev_a, prev_u);
+            let idx = agent.act_eps(&s);
+            // Normalize the index into the same continuous coordinate the
+            // state vector uses.
+            prev_a = if c > 1 { idx as f64 / (c - 1) as f64 } else { 0.0 };
+            prev_u = env.layer_utilization(k, prev_a);
+            states.push(s);
+            actions.push(idx);
+        }
+        states.push(env.state(n - 1, prev_a, prev_u));
+
+        let strategy: Vec<XbarShape> = actions.iter().map(|&i| candidates[i]).collect();
+        let report = env.evaluate_strategy(&strategy);
+        let reward = env.reward(&report);
+
+        history.push(EpisodeRecord {
+            episode,
+            rue: report.rue(),
+            reward,
+            utilization: report.utilization,
+            energy_nj: report.energy_nj(),
+        });
+        if best.as_ref().map_or(true, |(_, b)| report.rue() > b.rue()) {
+            best = Some((strategy, report));
+        }
+
+        for k in 0..n {
+            agent.remember(DiscreteExperience {
+                state: states[k].clone(),
+                next_state: states[k + 1].clone(),
+                action: actions[k],
+                reward,
+                done: k + 1 == n,
+            });
+        }
+        agent.end_episode();
+        for _ in 0..scfg.train_steps {
+            agent.train_step();
+        }
+    }
+
+    let (best_strategy, best_report) = best.expect("episodes >= 1");
+    DqnSearchOutcome {
+        best_strategy,
+        best_report,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogeneous::best_homogeneous;
+    use autohet_dnn::zoo;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    fn quick(seed: u64, episodes: usize) -> DqnSearchConfig {
+        DqnSearchConfig {
+            episodes,
+            dqn: DqnConfig {
+                seed,
+                hidden: 32,
+                batch: 32,
+                ..DqnConfig::default()
+            },
+            train_steps: 4,
+        }
+    }
+
+    #[test]
+    fn dqn_search_beats_best_homogeneous_on_micro_cnn() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let outcome = dqn_search(&m, &paper_hybrid_candidates(), &cfg, &quick(1, 60));
+        let (_, homo) = best_homogeneous(&m, &AccelConfig::default());
+        assert!(
+            outcome.best_rue() >= homo.rue(),
+            "dqn {} vs homo {}",
+            outcome.best_rue(),
+            homo.rue()
+        );
+    }
+
+    #[test]
+    fn dqn_search_is_deterministic() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let a = dqn_search(&m, &paper_hybrid_candidates(), &cfg, &quick(4, 15));
+        let b = dqn_search(&m, &paper_hybrid_candidates(), &cfg, &quick(4, 15));
+        assert_eq!(a.best_strategy, b.best_strategy);
+    }
+
+    #[test]
+    fn dqn_and_ddpg_land_in_the_same_ballpark() {
+        // The agent ablation: both learned searches should reach within
+        // ~10% of each other on the small model.
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = paper_hybrid_candidates();
+        let dqn = dqn_search(&m, &cands, &cfg, &quick(2, 80));
+        let ddpg = crate::search::rl::rl_search(
+            &m,
+            &cands,
+            &cfg,
+            &crate::search::rl::RlSearchConfig {
+                episodes: 80,
+                ddpg: autohet_rl::DdpgConfig {
+                    seed: 2,
+                    hidden: 32,
+                    batch: 32,
+                    ..autohet_rl::DdpgConfig::default()
+                },
+                train_steps: 4,
+                ..crate::search::rl::RlSearchConfig::default()
+            },
+        );
+        let ratio = dqn.best_rue() / ddpg.best_rue();
+        assert!((0.85..=1.2).contains(&ratio), "ratio {ratio}");
+    }
+}

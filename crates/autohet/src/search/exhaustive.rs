@@ -1,0 +1,102 @@
+//! Exhaustive oracle: enumerate every `Cᴺ` strategy for small models.
+//!
+//! Used to measure the RL agent's optimality gap — the paper argues the
+//! `Cᴺ` space makes manual/exhaustive search impractical (§2.2.3), which
+//! is true at VGG16 scale (5¹⁶ ≈ 1.5×10¹¹); on 4-layer test models the
+//! oracle is cheap and pins down the true optimum.
+
+use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use autohet_dnn::Model;
+use autohet_xbar::XbarShape;
+
+/// Enumerate all strategies (panics if the space exceeds `limit`
+/// evaluations; default callers pass ~1e5). Returns the RUE-optimal one.
+pub fn exhaustive_search(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    limit: u64,
+) -> (Vec<XbarShape>, EvalReport) {
+    let n = model.layers.len();
+    let c = candidates.len();
+    let space = (c as u64).checked_pow(n as u32).unwrap_or(u64::MAX);
+    assert!(
+        space <= limit,
+        "search space {space} exceeds limit {limit} (use rl_search instead)"
+    );
+
+    let mut best: Option<(Vec<XbarShape>, EvalReport)> = None;
+    let mut idx = vec![0usize; n];
+    loop {
+        let strategy: Vec<XbarShape> = idx.iter().map(|&i| candidates[i]).collect();
+        let report = evaluate(model, &strategy, cfg);
+        if best.as_ref().map_or(true, |(_, b)| report.rue() > b.rue()) {
+            best = Some((strategy, report));
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                return best.unwrap();
+            }
+            idx[pos] += 1;
+            if idx[pos] < c {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::random::random_search;
+    use autohet_dnn::zoo;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    #[test]
+    fn oracle_dominates_random_search() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = paper_hybrid_candidates();
+        let (_, oracle) = exhaustive_search(&m, &cands, &cfg, 1_000);
+        let (_, rand) = random_search(&m, &cands, &cfg, 50, 1);
+        assert!(oracle.rue() >= rand.rue());
+    }
+
+    #[test]
+    fn oracle_beats_every_single_shape() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = paper_hybrid_candidates();
+        let (_, oracle) = exhaustive_search(&m, &cands, &cfg, 1_000);
+        for &s in &cands {
+            let homo = evaluate(&m, &vec![s; m.layers.len()], &cfg);
+            assert!(oracle.rue() >= homo.rue());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn refuses_oversized_spaces() {
+        let m = zoo::vgg16();
+        let cands = paper_hybrid_candidates();
+        let _ = exhaustive_search(&m, &cands, &AccelConfig::default(), 10_000);
+    }
+
+    #[test]
+    fn two_candidate_space_enumerates_fully() {
+        // 2⁴ = 16 strategies; the best must at least match both
+        // homogeneous corners.
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default();
+        let cands = vec![XbarShape::square(32), XbarShape::square(256)];
+        let (_, best) = exhaustive_search(&m, &cands, &cfg, 100);
+        for &s in &cands {
+            let homo = evaluate(&m, &vec![s; m.layers.len()], &cfg);
+            assert!(best.rue() >= homo.rue());
+        }
+    }
+}

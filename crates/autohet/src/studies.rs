@@ -1,0 +1,217 @@
+//! Beyond-paper ablation studies (DESIGN.md §6).
+//!
+//! The paper fixes several design constants without sweeping them; these
+//! studies quantify the choices:
+//!
+//! - [`adc_resolution_sweep`]: the paper pins ADCs at 10 bits "to support
+//!   crossbars of all heterogeneous sizes". This sweep shows the
+//!   energy/area cost of each extra bit and which candidate shapes become
+//!   numerically unsafe (bitline clipping) at lower resolutions.
+//! - [`rxb_height_study`]: §3.3 sets rectangle heights to multiples of 9.
+//!   This study scores alternative height families on a 3×3-kernel model
+//!   and shows multiples of 9 are exactly right.
+//! - [`multi_model_sharing_study`]: §3.4 remarks freed tiles can serve
+//!   "other models" — this measures how many tiles joint allocation of
+//!   several DNNs saves over per-model allocation.
+
+use autohet_accel::alloc::allocate_tile_based;
+use autohet_accel::tile_shared::{apply_tile_sharing, share_across_models};
+use autohet_accel::{evaluate, AccelConfig};
+use autohet_dnn::{LayerKind, Model};
+use autohet_xbar::utilization::footprint;
+use autohet_xbar::XbarShape;
+use serde::{Deserialize, Serialize};
+
+/// One point of the ADC-resolution sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcPoint {
+    /// ADC resolution in bits.
+    pub bits: u32,
+    /// Total energy for the evaluated strategy [nJ].
+    pub energy_nj: f64,
+    /// Total area [µm²].
+    pub area_um2: f64,
+    /// RUE at this resolution.
+    pub rue: f64,
+    /// Largest bitline sum any candidate can produce (= tallest candidate
+    /// height with 1-bit cells); conversion is lossless iff this fits.
+    pub worst_case_level: u32,
+    /// Whether every hybrid candidate converts losslessly.
+    pub lossless: bool,
+}
+
+/// Sweep ADC resolution for a fixed strategy on `model`.
+pub fn adc_resolution_sweep(
+    model: &Model,
+    strategy: &[XbarShape],
+    bits: &[u32],
+) -> Vec<AdcPoint> {
+    let tallest = strategy.iter().map(|s| s.rows).max().unwrap_or(0);
+    bits.iter()
+        .map(|&b| {
+            let mut cfg = AccelConfig::default();
+            cfg.cost.adc_bits = b;
+            let r = evaluate(model, strategy, &cfg);
+            AdcPoint {
+                bits: b,
+                energy_nj: r.energy_nj(),
+                area_um2: r.area_um2,
+                rue: r.rue(),
+                worst_case_level: tallest,
+                lossless: (1_u64 << b) > tallest as u64,
+            }
+        })
+        .collect()
+}
+
+/// One rectangle-height family's score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeightFamily {
+    /// Family label, e.g. `"multiples of 9"`.
+    pub label: String,
+    /// The heights evaluated (at width 64).
+    pub heights: Vec<u32>,
+    /// Mean best-height Eq. 4 utilization over the model's 3×3 layers.
+    pub mean_utilization: f64,
+}
+
+/// Compare rectangle-height families at a fixed width on the model's
+/// 3×3-kernel layers: for each conv layer take the best height within the
+/// family, then average.
+pub fn rxb_height_study(model: &Model, width: u32) -> Vec<HeightFamily> {
+    let families: Vec<(&str, Vec<u32>)> = vec![
+        ("power-of-two", vec![32, 64, 128, 256]),
+        ("multiples of 8", vec![40, 72, 136, 264]),
+        ("multiples of 9 (paper)", vec![36, 72, 144, 288]),
+        ("multiples of 10", vec![40, 70, 140, 290]),
+    ];
+    let layers: Vec<_> = model
+        .layers
+        .iter()
+        .filter(|l| l.kind == LayerKind::Conv && l.kernel == 3)
+        .collect();
+    assert!(!layers.is_empty(), "model has no 3x3 conv layers");
+    families
+        .into_iter()
+        .map(|(label, heights)| {
+            let mean = layers
+                .iter()
+                .map(|l| {
+                    heights
+                        .iter()
+                        .map(|&h| footprint(l, XbarShape::new(h, width)).utilization())
+                        .fold(0.0_f64, f64::max)
+                })
+                .sum::<f64>()
+                / layers.len() as f64;
+            HeightFamily {
+                label: label.into(),
+                heights,
+                mean_utilization: mean,
+            }
+        })
+        .collect()
+}
+
+/// Result of the multi-model sharing study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiModelSharing {
+    /// Tiles with no sharing at all.
+    pub tiles_unshared: usize,
+    /// Tiles when each model shares only internally.
+    pub tiles_per_model: usize,
+    /// Tiles when all models share one tile pool.
+    pub tiles_joint: usize,
+}
+
+/// Allocate every model on `shape` crossbars and compare no / per-model /
+/// cross-model tile sharing.
+pub fn multi_model_sharing_study(
+    models: &[Model],
+    shape: XbarShape,
+    capacity: u32,
+) -> MultiModelSharing {
+    let allocs: Vec<_> = models
+        .iter()
+        .map(|m| allocate_tile_based(m, &vec![shape; m.layers.len()], capacity))
+        .collect();
+    let tiles_unshared = allocs.iter().map(|a| a.tiles.len()).sum();
+    let tiles_per_model = allocs
+        .iter()
+        .map(|a| {
+            let mut a = a.clone();
+            apply_tile_sharing(&mut a);
+            a.tiles.len()
+        })
+        .sum();
+    let (merged, _, _) = share_across_models(allocs);
+    MultiModelSharing {
+        tiles_unshared,
+        tiles_per_model,
+        tiles_joint: merged.tiles.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_dnn::zoo;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    #[test]
+    fn adc_sweep_trades_energy_for_losslessness() {
+        let m = zoo::vgg16();
+        let strategy = vec![XbarShape::new(576, 512); m.layers.len()];
+        let pts = adc_resolution_sweep(&m, &strategy, &[6, 8, 10, 12]);
+        assert_eq!(pts.len(), 4);
+        // Energy and area grow with resolution (×2 per bit).
+        for w in pts.windows(2) {
+            assert!(w[1].energy_nj > w[0].energy_nj);
+            assert!(w[1].area_um2 > w[0].area_um2);
+        }
+        // The paper's 10 bits is the first lossless setting for 576 rows.
+        assert!(!pts[0].lossless && !pts[1].lossless);
+        assert!(pts[2].lossless && pts[3].lossless);
+        assert_eq!(pts[2].bits, 10);
+    }
+
+    #[test]
+    fn paper_height_family_wins_on_vgg16() {
+        let fams = rxb_height_study(&zoo::vgg16(), 64);
+        let paper = fams
+            .iter()
+            .find(|f| f.label.contains("paper"))
+            .unwrap()
+            .mean_utilization;
+        for f in &fams {
+            assert!(
+                paper >= f.mean_utilization - 1e-12,
+                "{} ({}) beats the paper family ({paper})",
+                f.label,
+                f.mean_utilization
+            );
+        }
+        // And it is a real win over power-of-two heights.
+        let pow2 = fams[0].mean_utilization;
+        assert!(paper > pow2 * 1.02, "paper {paper} vs pow2 {pow2}");
+    }
+
+    #[test]
+    fn joint_sharing_dominates_per_model_sharing() {
+        let models = vec![zoo::alexnet(), zoo::micro_cnn(), zoo::test_cnn()];
+        let r = multi_model_sharing_study(&models, XbarShape::new(72, 64), 4);
+        assert!(r.tiles_per_model <= r.tiles_unshared);
+        assert!(r.tiles_joint <= r.tiles_per_model);
+    }
+
+    #[test]
+    fn adc_sweep_uses_strategy_specific_worst_case() {
+        let m = zoo::micro_cnn();
+        let strategy = vec![XbarShape::square(32); m.layers.len()];
+        let pts = adc_resolution_sweep(&m, &strategy, &[6]);
+        // 32 rows fit a 6-bit ADC (max 63).
+        assert_eq!(pts[0].worst_case_level, 32);
+        assert!(pts[0].lossless);
+        let _ = paper_hybrid_candidates();
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion bench for the Fig. 10 ablation pipeline at reduced scale.
+
+use autohet::ablation::run_ablation;
+use autohet::prelude::*;
+use autohet_dnn::zoo;
+use autohet_rl::DdpgConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let scfg = RlSearchConfig {
+        episodes: 8,
+        ddpg: DdpgConfig {
+            seed: 2,
+            hidden: 32,
+            batch: 32,
+            ..DdpgConfig::default()
+        },
+        train_steps: 2,
+        ..RlSearchConfig::default()
+    };
+    let micro = zoo::micro_cnn();
+    c.bench_function("fig10/ablation_micro_8ep", |b| {
+        b.iter(|| black_box(run_ablation(black_box(&micro), &scfg)))
+    });
+    // The non-RL part of every ablation stage: strategy evaluation.
+    let vgg = zoo::vgg16();
+    let strategy = vec![XbarShape::new(576, 512); vgg.layers.len()];
+    let shared = AccelConfig::default().with_tile_sharing();
+    c.bench_function("fig10/evaluate_vgg16_tile_shared", |b| {
+        b.iter(|| black_box(evaluate(black_box(&vgg), &strategy, &shared)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig10
+}
+criterion_main!(benches);

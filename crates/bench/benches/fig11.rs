@@ -1,0 +1,43 @@
+//! Criterion bench for the Fig. 11 sensitivity pipelines at reduced scale.
+
+use autohet::prelude::*;
+use autohet::sensitivity::{sweep_candidate_count, sweep_pes_per_tile, sweep_sxb_rxb_ratio};
+use autohet_dnn::zoo;
+use autohet_rl::DdpgConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scfg() -> RlSearchConfig {
+    RlSearchConfig {
+        episodes: 6,
+        ddpg: DdpgConfig {
+            seed: 3,
+            hidden: 32,
+            batch: 32,
+            ..DdpgConfig::default()
+        },
+        train_steps: 2,
+        ..RlSearchConfig::default()
+    }
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let micro = zoo::micro_cnn();
+    let s = scfg();
+    c.bench_function("fig11/ratio_sweep_micro", |b| {
+        b.iter(|| black_box(sweep_sxb_rxb_ratio(black_box(&micro), &s)))
+    });
+    c.bench_function("fig11/candidate_count_sweep_micro", |b| {
+        b.iter(|| black_box(sweep_candidate_count(black_box(&micro), &s)))
+    });
+    c.bench_function("fig11/pes_per_tile_sweep_micro", |b| {
+        b.iter(|| black_box(sweep_pes_per_tile(black_box(&micro), &s)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig. 4 pipeline: tile-based allocation of
+//! VGG16 across tile capacities and the empty-crossbar accounting.
+
+use autohet::prelude::*;
+use autohet_accel::alloc::allocate_tile_based;
+use autohet_dnn::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let model = zoo::vgg16();
+    let strategy = vec![XbarShape::square(64); model.layers.len()];
+    let mut g = c.benchmark_group("fig4/tile_based_alloc_vgg16");
+    for cap in [4u32, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| black_box(allocate_tile_based(black_box(&model), &strategy, cap)))
+        });
+    }
+    g.finish();
+    c.bench_function("fig4/full_table", |b| {
+        b.iter(|| black_box(autohet_bench::fig4()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 5 pipeline: footprint / ADC-activation
+//! accounting of one layer on 64² vs 128² crossbars.
+
+use autohet_dnn::Layer;
+use autohet_xbar::utilization::footprint;
+use autohet_xbar::XbarShape;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let layer = Layer::conv(0, 12, 128, 3, 1, 1, 16);
+    let mut g = c.benchmark_group("fig5/footprint");
+    for side in [64u32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            b.iter(|| black_box(footprint(black_box(&layer), XbarShape::square(side))))
+        });
+    }
+    g.finish();
+    c.bench_function("fig5/full_table", |b| {
+        b.iter(|| black_box(autohet_bench::fig5()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the substrate kernels every experiment leans on:
+//! Eq. 4 footprints, Algorithm 1, the functional bit-sliced crossbar MVM,
+//! and one DDPG training step.
+
+use autohet_accel::controller::MappedLayer;
+use autohet_accel::hierarchy::Tile;
+use autohet_accel::tile_shared::combine_group;
+use autohet_dnn::ops::synthetic_weights;
+use autohet_dnn::Layer;
+use autohet_rl::{Ddpg, DdpgConfig, Experience};
+use autohet_xbar::utilization::footprint;
+use autohet_xbar::{Adc, CostParams, XbarShape};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_footprint(c: &mut Criterion) {
+    let layer = Layer::conv(0, 512, 512, 3, 1, 1, 4);
+    c.bench_function("kernels/footprint_eq4", |b| {
+        b.iter(|| black_box(footprint(black_box(&layer), XbarShape::new(576, 512))))
+    });
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let tiles: Vec<Tile> = (0..1000)
+        .map(|i| {
+            let mut t = Tile::new(i, XbarShape::square(64), 4);
+            t.place(i, (i * 7 % 4 + 1) as u32);
+            t
+        })
+        .collect();
+    let mut g = c.benchmark_group("kernels/algorithm1");
+    g.throughput(Throughput::Elements(tiles.len() as u64));
+    g.bench_function("combine_1000_tiles", |b| {
+        b.iter(|| {
+            let mut ts = tiles.clone();
+            black_box(combine_group(&mut ts))
+        })
+    });
+    g.finish();
+}
+
+fn bench_crossbar_mvm(c: &mut Criterion) {
+    let layer = Layer::conv(0, 12, 64, 3, 1, 1, 8);
+    let ml = MappedLayer::program(
+        &layer,
+        XbarShape::square(64),
+        &synthetic_weights(&layer, 0),
+        &CostParams::default(),
+    );
+    let adc = Adc::new(10);
+    let input: Vec<u8> = (0..layer.weight_rows()).map(|i| (i * 37 % 256) as u8).collect();
+    let mut g = c.benchmark_group("kernels/crossbar_mvm");
+    g.throughput(Throughput::Elements(
+        (layer.weight_rows() * layer.weight_cols()) as u64,
+    ));
+    g.bench_function("bit_serial_108x64", |b| {
+        b.iter(|| black_box(ml.mvm(black_box(&input), &adc)))
+    });
+    g.finish();
+}
+
+fn bench_ddpg(c: &mut Criterion) {
+    let mut agent = Ddpg::new(DdpgConfig {
+        state_dim: 10,
+        ..DdpgConfig::default()
+    });
+    for i in 0..256 {
+        let s: Vec<f64> = (0..10).map(|j| ((i * 10 + j) as f64).sin().abs()).collect();
+        agent.remember(Experience {
+            next_state: s.clone(),
+            action: (i % 5) as f64 / 4.0,
+            reward: s[0],
+            done: i % 16 == 15,
+            state: s,
+        });
+    }
+    c.bench_function("kernels/ddpg_train_step", |b| {
+        b.iter(|| black_box(agent.train_step()))
+    });
+    let state: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+    c.bench_function("kernels/ddpg_act", |b| {
+        b.iter(|| black_box(agent.act(black_box(&state))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_footprint, bench_algorithm1, bench_crossbar_mvm, bench_ddpg
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Table 4 pipeline: Algorithm 1 tile sharing on
+//! real allocations.
+
+use autohet::prelude::*;
+use autohet_accel::alloc::allocate_tile_based;
+use autohet_accel::tile_shared::apply_tile_sharing;
+use autohet_dnn::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4/tile_sharing");
+    for model in [zoo::alexnet(), zoo::vgg16(), zoo::resnet152()] {
+        let strategy = vec![XbarShape::new(72, 64); model.layers.len()];
+        let alloc = allocate_tile_based(&model, &strategy, 4);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&model.name),
+            &alloc,
+            |b, alloc| {
+                b.iter(|| {
+                    let mut a = alloc.clone();
+                    black_box(apply_tile_sharing(&mut a))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 5 pipeline: whole-accelerator area and
+//! latency evaluation across crossbar sizes.
+
+use autohet::prelude::*;
+use autohet_dnn::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table5(c: &mut Criterion) {
+    let vgg = zoo::vgg16();
+    let cfg = AccelConfig::default();
+    let mut g = c.benchmark_group("table5/evaluate_vgg16");
+    for shape in SQUARE_CANDIDATES {
+        let strategy = vec![shape; vgg.layers.len()];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shape),
+            &strategy,
+            |b, strategy| b.iter(|| black_box(evaluate(black_box(&vgg), strategy, &cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table5
+}
+criterion_main!(benches);

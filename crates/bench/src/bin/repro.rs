@@ -1,0 +1,118 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <id> [--episodes N] [--seed S] [--quick]
+//! ids: motiv fig3 fig4 fig5 fig9 fig10 fig11a fig11b fig11c
+//!      table3 table4 table5 search-time study-adc study-rxb study-multi
+//!      comparators all
+//! ```
+//!
+//! `--quick` caps RL searches at 40 episodes and restricts multi-model
+//! experiments to AlexNet + VGG16 (ResNet152's 300-round searches are the
+//! slow part); the default regenerates everything at paper scale.
+
+use autohet_bench::*;
+use autohet_dnn::zoo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <id> [--episodes N] [--seed S] [--quick] [--csv]");
+        eprintln!("ids: motiv fig3 fig4 fig5 fig9 fig10 fig11a fig11b fig11c");
+        eprintln!("     table3 table4 table5 search-time study-adc study-rxb study-multi comparators convergence pareto mobilenet all");
+        std::process::exit(2);
+    }
+    let id = args[0].as_str();
+    let mut rc = ReproConfig::default();
+    let mut quick = false;
+    let mut csv = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--episodes" => {
+                i += 1;
+                rc.episodes = args[i].parse().expect("--episodes N");
+            }
+            "--seed" => {
+                i += 1;
+                rc.seed = args[i].parse().expect("--seed S");
+            }
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if quick {
+        rc.episodes = rc.episodes.min(40);
+    }
+
+    let models = if quick {
+        vec![zoo::alexnet(), zoo::vgg16()]
+    } else {
+        zoo::paper_models()
+    };
+    let vgg = zoo::vgg16();
+
+    let print = move |t: Table| {
+        if csv {
+            println!("# {}", t.title);
+            println!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+    let print_all = |ts: Vec<Table>| ts.into_iter().for_each(print);
+
+    match id {
+        "motiv" => print(motiv()),
+        "fig3" => print(fig3()),
+        "fig4" => print(fig4()),
+        "fig5" => print(fig5()),
+        "fig9" => print_all(fig9(&rc, &models)),
+        "fig10" => print_all(fig10(&rc, &models)),
+        "fig11a" => print(fig11a(&rc, &vgg)),
+        "fig11b" => print(fig11b(&rc, &vgg)),
+        "fig11c" => print(fig11c(&rc, &vgg)),
+        "table3" => print(table3(&rc)),
+        "table4" => print(table4(&rc, &models)),
+        "table5" => print(table5(&rc)),
+        "search-time" => print(search_time(&rc, &vgg)),
+        "study-adc" => print(study_adc()),
+        "study-rxb" => print(study_rxb()),
+        "study-multi" => print(study_multi_model()),
+        "comparators" => print(comparators(&rc, &vgg)),
+        "convergence" => print(convergence(&rc, &vgg)),
+        "pareto" => print(pareto(&rc, &vgg)),
+        "mobilenet" => print(mobilenet(&rc)),
+        "all" => {
+            print(motiv());
+            print(fig3());
+            print(fig4());
+            print(fig5());
+            print_all(fig9(&rc, &models));
+            print_all(fig10(&rc, &models));
+            print(fig11a(&rc, &vgg));
+            print(fig11b(&rc, &vgg));
+            print(fig11c(&rc, &vgg));
+            print(table3(&rc));
+            print(table4(&rc, &models));
+            print(table5(&rc));
+            print(search_time(&rc, &vgg));
+            print(study_adc());
+            print(study_rxb());
+            print(study_multi_model());
+            print(comparators(&rc, &vgg));
+            print(convergence(&rc, &vgg));
+            print(pareto(&rc, &vgg));
+            print(mobilenet(&rc));
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Reference ("golden model") neural-network operators.
+//!
+//! These exact implementations define what the analog crossbar pipeline is
+//! supposed to compute: the functional simulator in `autohet-xbar` is
+//! validated against the integer paths here, and end-to-end inference
+//! through a mapped accelerator is validated against the float paths within
+//! quantization tolerance.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Unfold a CHW input into im2col columns for `layer`: the result is a
+/// `(Cin·k²) × (out²)` matrix whose column `p` is the receptive field of
+/// output pixel `p`. This mirrors exactly how the paper's Fig. 7 lays
+/// kernels on crossbar columns: one MVM per output pixel.
+pub fn im2col(layer: &Layer, input: &Tensor) -> Tensor {
+    assert_eq!(input.shape(), &[layer.in_channels, layer.in_size, layer.in_size]);
+    let k = layer.kernel;
+    let o = layer.out_size();
+    let rows = layer.weight_rows();
+    let mut out = Tensor::zeros(vec![rows, o * o]);
+    let pad = layer.padding as isize;
+    for oy in 0..o {
+        for ox in 0..o {
+            let col = oy * o + ox;
+            let base_y = (oy * layer.stride) as isize - pad;
+            let base_x = (ox * layer.stride) as isize - pad;
+            for c in 0..layer.in_channels {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let y = base_y + ky as isize;
+                        let x = base_x + kx as isize;
+                        let row = (c * k + ky) * k + kx;
+                        let v = if y >= 0
+                            && x >= 0
+                            && (y as usize) < layer.in_size
+                            && (x as usize) < layer.in_size
+                        {
+                            input.at3(c, y as usize, x as usize)
+                        } else {
+                            0.0
+                        };
+                        *out.at2_mut(row, col) = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + matrix product. `weights` is the unfolded
+/// `(Cin·k²) × Cout` matrix (paper Fig. 7 layout). Output is CHW.
+pub fn conv2d(layer: &Layer, input: &Tensor, weights: &Tensor) -> Tensor {
+    assert_eq!(weights.shape(), &[layer.weight_rows(), layer.weight_cols()]);
+    let cols = im2col(layer, input);
+    let o = layer.out_size();
+    let mut out = Tensor::zeros(vec![layer.out_channels, o, o]);
+    let rows = layer.weight_rows();
+    for oc in 0..layer.out_channels {
+        for p in 0..o * o {
+            let mut acc = 0.0_f32;
+            for r in 0..rows {
+                acc += weights.at2(r, oc) * cols.at2(r, p);
+            }
+            *out.at3_mut(oc, p / o, p % o) = acc;
+        }
+    }
+    out
+}
+
+/// Fully-connected layer: `y = Wᵀ x` with `W` in the same unfolded
+/// `(in × out)` layout the mapper uses.
+pub fn fully_connected(input: &[f32], weights: &Tensor) -> Vec<f32> {
+    let (rows, cols) = (weights.shape()[0], weights.shape()[1]);
+    assert_eq!(input.len(), rows);
+    let mut out = vec![0.0_f32; cols];
+    for (r, &x) in input.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (c, o) in out.iter_mut().enumerate() {
+            *o += weights.at2(r, c) * x;
+        }
+    }
+    out
+}
+
+/// Depthwise convolution: channel `c` of the output convolves channel `c`
+/// of the input with its own `k×k` kernel. `kernels` is the layer's
+/// `(k², channels)` matrix ([`crate::Layer::kernel_matrix_shape`]).
+pub fn depthwise_conv2d(layer: &Layer, input: &Tensor, kernels: &Tensor) -> Tensor {
+    assert_eq!(layer.kind, crate::LayerKind::DepthwiseConv);
+    assert_eq!(kernels.shape(), &[layer.kernel_elems(), layer.in_channels]);
+    let cols = im2col(layer, input);
+    let k2 = layer.kernel_elems();
+    let o = layer.out_size();
+    let mut out = Tensor::zeros(vec![layer.in_channels, o, o]);
+    for c in 0..layer.in_channels {
+        for p in 0..o * o {
+            let mut acc = 0.0_f32;
+            for e in 0..k2 {
+                // im2col row ordering stacks channels: channel c's patch
+                // occupies rows [c·k², (c+1)·k²).
+                acc += kernels.at2(e, c) * cols.at2(c * k2 + e, p);
+            }
+            *out.at3_mut(c, p / o, p % o) = acc;
+        }
+    }
+    out
+}
+
+/// Exact integer matrix-vector product, the contract the bit-sliced analog
+/// crossbar must reproduce: `y[c] = Σ_r w[r][c] · x[r]` over `i32`.
+pub fn mvm_i32(weights_rc: &[Vec<i32>], input: &[i32]) -> Vec<i32> {
+    let rows = weights_rc.len();
+    assert!(rows > 0);
+    let cols = weights_rc[0].len();
+    assert_eq!(input.len(), rows);
+    let mut out = vec![0_i32; cols];
+    for (r, row) in weights_rc.iter().enumerate() {
+        assert_eq!(row.len(), cols);
+        let x = input[r];
+        for (c, &w) in row.iter().enumerate() {
+            out[c] += w * x;
+        }
+    }
+    out
+}
+
+/// In-place ReLU.
+pub fn relu(t: &mut Tensor) {
+    for v in t.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Non-overlapping max pooling with a square window. Truncates edge pixels
+/// that do not fill a full window, matching [`crate::ModelBuilder::pool`].
+pub fn max_pool(input: &Tensor, window: usize) -> Tensor {
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (oh, ow) = (h / window, w / window);
+    let mut out = Tensor::zeros(vec![c, oh, ow]);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..window {
+                    for dx in 0..window {
+                        m = m.max(input.at3(ch, oy * window + dy, ox * window + dx));
+                    }
+                }
+                *out.at3_mut(ch, oy, ox) = m;
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic synthetic weights for `layer`, in the unfolded
+/// `(Cin·k²) × Cout` layout, drawn from `[-0.5, 0.5)`. Seeded per layer so
+/// models are reproducible (DESIGN.md §1: weight values never influence the
+/// architecture-search metrics).
+pub fn synthetic_weights(layer: &Layer, seed: u64) -> Tensor {
+    let (rows, cols) = layer.kernel_matrix_shape();
+    let mut rng = SmallRng::seed_from_u64(seed ^ (layer.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen::<f32>() - 0.5).collect();
+    Tensor::from_vec(vec![rows, cols], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    /// Direct (definition-based) convolution to cross-check im2col.
+    fn conv2d_direct(layer: &Layer, input: &Tensor, weights: &Tensor) -> Tensor {
+        let k = layer.kernel;
+        let o = layer.out_size();
+        let mut out = Tensor::zeros(vec![layer.out_channels, o, o]);
+        let pad = layer.padding as isize;
+        for oc in 0..layer.out_channels {
+            for oy in 0..o {
+                for ox in 0..o {
+                    let mut acc = 0.0_f32;
+                    for c in 0..layer.in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let y = (oy * layer.stride) as isize - pad + ky as isize;
+                                let x = (ox * layer.stride) as isize - pad + kx as isize;
+                                if y < 0 || x < 0 {
+                                    continue;
+                                }
+                                let (y, x) = (y as usize, x as usize);
+                                if y >= layer.in_size || x >= layer.in_size {
+                                    continue;
+                                }
+                                let row = (c * k + ky) * k + kx;
+                                acc += input.at3(c, y, x) * weights.at2(row, oc);
+                            }
+                        }
+                    }
+                    *out.at3_mut(oc, oy, ox) = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn im2col_conv_matches_direct_conv_same_padding() {
+        let l = Layer::conv(0, 3, 5, 3, 1, 1, 8);
+        let input = crate::Dataset::Cifar10.synthetic_image(1); // 3×32×32
+        // crop to 8×8 via a fresh tensor
+        let mut small = Tensor::zeros(vec![3, 8, 8]);
+        for c in 0..3 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    *small.at3_mut(c, y, x) = input.at3(c, y, x);
+                }
+            }
+        }
+        let w = synthetic_weights(&l, 42);
+        assert_close(&conv2d(&l, &small, &w), &conv2d_direct(&l, &small, &w));
+    }
+
+    #[test]
+    fn im2col_conv_matches_direct_conv_strided_no_pad() {
+        let l = Layer::conv(0, 2, 4, 3, 2, 0, 9);
+        let mut input = Tensor::zeros(vec![2, 9, 9]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = (i as f32 * 0.173).sin();
+        }
+        let w = synthetic_weights(&l, 7);
+        assert_close(&conv2d(&l, &input, &w), &conv2d_direct(&l, &input, &w));
+    }
+
+    #[test]
+    fn depthwise_matches_per_channel_direct_conv() {
+        // Depthwise == running a 1-channel conv per channel.
+        let layer = Layer::depthwise(0, 3, 3, 1, 1, 6);
+        let mut input = Tensor::zeros(vec![3, 6, 6]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = ((i * 7 % 13) as f32) * 0.1;
+        }
+        let kernels = synthetic_weights(&layer, 2);
+        assert_eq!(kernels.shape(), &[9, 3]);
+        let out = depthwise_conv2d(&layer, &input, &kernels);
+        for c in 0..3 {
+            let single = Layer::conv(0, 1, 1, 3, 1, 1, 6);
+            let mut ch_in = Tensor::zeros(vec![1, 6, 6]);
+            for y in 0..6 {
+                for x in 0..6 {
+                    *ch_in.at3_mut(0, y, x) = input.at3(c, y, x);
+                }
+            }
+            let w = Tensor::from_vec(
+                vec![9, 1],
+                (0..9).map(|e| kernels.at2(e, c)).collect(),
+            );
+            let ref_out = conv2d(&single, &ch_in, &w);
+            for y in 0..6 {
+                for x in 0..6 {
+                    assert!(
+                        (out.at3(c, y, x) - ref_out.at3(0, y, x)).abs() < 1e-5,
+                        "channel {c} pixel ({y},{x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fc_matches_manual() {
+        let w = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = fully_connected(&[1.0, 0.5, -1.0], &w);
+        // col0: 1*1 + 3*0.5 + 5*(-1) = -2.5 ; col1: 2 + 2 - 6 = -2
+        assert!((y[0] + 2.5).abs() < 1e-6);
+        assert!((y[1] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mvm_i32_matches_manual() {
+        let w = vec![vec![1, -2], vec![3, 4]];
+        let y = mvm_i32(&w, &[5, -1]);
+        assert_eq!(y, vec![5 - 3, -10 - 4]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let mut t = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -0.1]);
+        relu(&mut t);
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let t = Tensor::from_vec(
+            vec![1, 4, 4],
+            (0..16).map(|i| i as f32).collect(),
+        );
+        let p = max_pool(&t, 2);
+        assert_eq!(p.shape(), &[1, 2, 2]);
+        assert_eq!(p.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_truncates_ragged_edge() {
+        let t = Tensor::from_vec(vec![1, 5, 5], (0..25).map(|i| i as f32).collect());
+        let p = max_pool(&t, 2);
+        assert_eq!(p.shape(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn synthetic_weights_are_deterministic_and_layer_distinct() {
+        let a = Layer::conv(0, 2, 3, 3, 1, 1, 8);
+        let b = Layer::conv(1, 2, 3, 3, 1, 1, 8);
+        assert_eq!(synthetic_weights(&a, 5).data(), synthetic_weights(&a, 5).data());
+        assert_ne!(synthetic_weights(&a, 5).data(), synthetic_weights(&b, 5).data());
+    }
+
+    #[test]
+    fn im2col_shape() {
+        let l = Layer::conv(0, 3, 4, 3, 1, 1, 32);
+        let img = crate::Dataset::Cifar10.synthetic_image(0);
+        let cols = im2col(&l, &img);
+        assert_eq!(cols.shape(), &[27, 1024]);
+    }
+}

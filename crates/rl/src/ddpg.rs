@@ -1,0 +1,361 @@
+//! Deep Deterministic Policy Gradient (the paper's agent, §3.2).
+//!
+//! Actor `μ(s) ∈ (0,1)` (sigmoid head) and critic `Q(s, a)` with Polyak-
+//! averaged target copies. Per train step, a minibatch from the experience
+//! pool drives:
+//!
+//! - critic regression toward the TD target
+//!   `y = r + γ·Q'(s', μ'(s'))·(1 − done)`,
+//! - the deterministic policy gradient for the actor:
+//!   ascend `Q(s, μ(s))` by backpropagating `∂Q/∂a` through the actor,
+//! - soft target updates `θ' ← τθ + (1−τ)θ'`.
+//!
+//! The continuous action is discretized by the environment (the AutoHet
+//! search maps `(0,1)` onto the crossbar-candidate index, the same recipe
+//! HAQ-style RL-for-architecture works use).
+
+use crate::nn::{Activation, Adam, Mlp};
+use crate::noise::OuNoise;
+use crate::replay::{Experience, ReplayBuffer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Agent hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    /// State vector dimension (the paper's Eq. 1 state is 10-dim).
+    pub state_dim: usize,
+    /// Hidden width of both MLPs.
+    pub hidden: usize,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Soft-update coefficient.
+    pub tau: f64,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Experience-pool capacity.
+    pub pool: usize,
+    /// RNG seed (weights, sampling, exploration).
+    pub seed: u64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        DdpgConfig {
+            state_dim: 10,
+            hidden: 64,
+            actor_lr: 1e-3,
+            critic_lr: 2e-3,
+            gamma: 0.99,
+            tau: 0.01,
+            batch: 64,
+            pool: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// Diagnostics from one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Mean squared TD error of the critic batch.
+    pub critic_loss: f64,
+    /// Mean `Q(s, μ(s))` of the batch (the actor objective).
+    pub actor_q: f64,
+}
+
+/// The DDPG agent.
+///
+/// ```
+/// use autohet_rl::{Ddpg, DdpgConfig, Experience, OuNoise};
+///
+/// let mut agent = Ddpg::new(DdpgConfig { state_dim: 2, batch: 8, ..DdpgConfig::default() });
+/// let mut noise = OuNoise::new(0.3, 0.99, 0.02);
+/// let state = vec![0.1, 0.9];
+/// let action = agent.act_noisy(&state, &mut noise);
+/// assert!((0.0..=1.0).contains(&action));
+/// agent.remember(Experience {
+///     state: state.clone(),
+///     next_state: state,
+///     action,
+///     reward: 1.0,
+///     done: true,
+/// });
+/// assert!(agent.train_step().is_none()); // pool smaller than one batch
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ddpg {
+    cfg: DdpgConfig,
+    actor: Mlp,
+    critic: Mlp,
+    actor_target: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    /// The experience pool (public so drivers can inspect fill level).
+    pub replay: ReplayBuffer,
+    rng: SmallRng,
+}
+
+impl Ddpg {
+    /// Build an agent; target networks start as exact copies.
+    pub fn new(cfg: DdpgConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDD9C);
+        let actor = Mlp::new(
+            &[cfg.state_dim, cfg.hidden, cfg.hidden, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let critic = Mlp::new(
+            &[cfg.state_dim + 1, cfg.hidden, cfg.hidden, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng,
+        );
+        Ddpg {
+            actor_target: actor.clone(),
+            critic_target: critic.clone(),
+            actor_opt: Adam::new(cfg.actor_lr),
+            critic_opt: Adam::new(cfg.critic_lr),
+            replay: ReplayBuffer::new(cfg.pool),
+            actor,
+            critic,
+            rng,
+            cfg,
+        }
+    }
+
+    /// Agent configuration.
+    pub fn config(&self) -> &DdpgConfig {
+        &self.cfg
+    }
+
+    /// Deterministic action `μ(s) ∈ (0,1)`.
+    pub fn act(&mut self, state: &[f64]) -> f64 {
+        self.actor.forward(state)[0]
+    }
+
+    /// Exploratory action: `clamp(μ(s) + OU noise, 0, 1)`.
+    pub fn act_noisy(&mut self, state: &[f64], noise: &mut OuNoise) -> f64 {
+        let a = self.act(state) + noise.sample(&mut self.rng);
+        a.clamp(0.0, 1.0)
+    }
+
+    /// Store one transition.
+    pub fn remember(&mut self, e: Experience) {
+        self.replay.push(e);
+    }
+
+    /// Critic value for an explicit state-action pair.
+    pub fn q_value(&mut self, state: &[f64], action: f64) -> f64 {
+        let mut input = state.to_vec();
+        input.push(action);
+        self.critic.forward(&input)[0]
+    }
+
+    /// One minibatch update of critic, actor and targets. Returns `None`
+    /// until the pool holds at least one batch.
+    pub fn train_step(&mut self) -> Option<TrainStats> {
+        if self.replay.len() < self.cfg.batch {
+            return None;
+        }
+        let batch: Vec<Experience> = self
+            .replay
+            .sample(self.cfg.batch, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let n = batch.len() as f64;
+
+        // ---- Critic: regress toward the TD target.
+        // Precompute targets with the target networks.
+        let mut targets = Vec::with_capacity(batch.len());
+        for e in &batch {
+            let a_next = self.actor_target.forward(&e.next_state)[0];
+            let mut in_next = e.next_state.clone();
+            in_next.push(a_next);
+            let q_next = self.critic_target.forward(&in_next)[0];
+            let y = e.reward
+                + if e.done {
+                    0.0
+                } else {
+                    self.cfg.gamma * q_next
+                };
+            targets.push(y);
+        }
+        self.critic.zero_grad();
+        let mut critic_loss = 0.0;
+        for (e, &y) in batch.iter().zip(&targets) {
+            let mut input = e.state.clone();
+            input.push(e.action);
+            let q = self.critic.forward(&input)[0];
+            let err = q - y;
+            critic_loss += err * err;
+            self.critic.backward(&[2.0 * err]);
+        }
+        critic_loss /= n;
+        self.critic.adam_step(&mut self.critic_opt, n);
+
+        // ---- Actor: ascend Q(s, μ(s)).
+        self.actor.zero_grad();
+        let mut actor_q = 0.0;
+        for e in &batch {
+            let a = self.actor.forward(&e.state)[0];
+            let mut input = e.state.clone();
+            input.push(a);
+            let q = self.critic.forward(&input)[0];
+            actor_q += q;
+            // dQ/d(input); gradient ascent on Q ⇒ loss = -Q.
+            self.critic.zero_grad(); // discard critic param grads below
+            let din = self.critic.backward(&[-1.0]);
+            let dq_da = din[self.cfg.state_dim];
+            self.actor.backward(&[dq_da]);
+        }
+        actor_q /= n;
+        self.critic.zero_grad();
+        self.actor.adam_step(&mut self.actor_opt, n);
+
+        // ---- Soft target updates.
+        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+
+        Some(TrainStats {
+            critic_loss,
+            actor_q,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_bounded() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 3,
+            ..DdpgConfig::default()
+        });
+        let mut noise = OuNoise::new(0.8, 1.0, 0.0);
+        for i in 0..50 {
+            let s = vec![i as f64 * 0.1, -1.0, 2.0];
+            let a = agent.act(&s);
+            assert!((0.0..=1.0).contains(&a));
+            let an = agent.act_noisy(&s, &mut noise);
+            assert!((0.0..=1.0).contains(&an));
+        }
+    }
+
+    #[test]
+    fn train_needs_a_full_batch() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 2,
+            batch: 8,
+            ..DdpgConfig::default()
+        });
+        assert!(agent.train_step().is_none());
+        for i in 0..8 {
+            agent.remember(Experience {
+                state: vec![i as f64, 0.0],
+                next_state: vec![i as f64 + 1.0, 0.0],
+                action: 0.5,
+                reward: 0.1,
+                done: i == 7,
+            });
+        }
+        assert!(agent.train_step().is_some());
+    }
+
+    #[test]
+    fn solves_a_continuous_bandit() {
+        // One-step episodes, reward 1 − (a − 0.7)²: the actor must move
+        // its deterministic action toward 0.7.
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 1,
+            hidden: 32,
+            batch: 32,
+            actor_lr: 3e-3,
+            critic_lr: 5e-3,
+            seed: 42,
+            ..DdpgConfig::default()
+        });
+        let mut noise = OuNoise::new(0.4, 0.995, 0.02);
+        let state = vec![1.0];
+        for _ in 0..600 {
+            let a = agent.act_noisy(&state, &mut noise);
+            let r = 1.0 - (a - 0.7) * (a - 0.7);
+            agent.remember(Experience {
+                state: state.clone(),
+                next_state: state.clone(),
+                action: a,
+                reward: r,
+                done: true,
+            });
+            noise.end_episode();
+            agent.train_step();
+        }
+        let a = agent.act(&state);
+        assert!((a - 0.7).abs() < 0.15, "converged to {a}");
+    }
+
+    #[test]
+    fn critic_loss_decreases_on_fixed_data() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 2,
+            batch: 16,
+            seed: 7,
+            ..DdpgConfig::default()
+        });
+        for i in 0..64 {
+            let s = vec![(i % 8) as f64 / 8.0, ((i / 8) % 8) as f64 / 8.0];
+            agent.remember(Experience {
+                state: s.clone(),
+                next_state: s.clone(),
+                action: (i % 4) as f64 / 4.0,
+                reward: s[0] * 0.5,
+                done: true,
+            });
+        }
+        let first = agent.train_step().unwrap().critic_loss;
+        let mut last = first;
+        for _ in 0..200 {
+            last = agent.train_step().unwrap().critic_loss;
+        }
+        assert!(last < first, "critic loss {first} → {last}");
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let run = || {
+            let mut agent = Ddpg::new(DdpgConfig {
+                state_dim: 1,
+                seed: 3,
+                batch: 4,
+                ..DdpgConfig::default()
+            });
+            let mut noise = OuNoise::new(0.3, 0.99, 0.0);
+            let mut trace = Vec::new();
+            for i in 0..20 {
+                let s = vec![i as f64 / 20.0];
+                let a = agent.act_noisy(&s, &mut noise);
+                trace.push(a);
+                agent.remember(Experience {
+                    state: s.clone(),
+                    next_state: s,
+                    action: a,
+                    reward: a,
+                    done: true,
+                });
+                agent.train_step();
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

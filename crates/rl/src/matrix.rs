@@ -1,0 +1,157 @@
+//! Minimal dense matrix for the NN substrate.
+//!
+//! Row-major `f64`; just the operations the MLP needs (matrix-vector
+//! products in both orientations and outer-product accumulation).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Uniform random matrix in `[-limit, limit]` (He/Xavier-style init).
+    pub fn random<R: Rng>(rows: usize, cols: usize, limit: f64, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Flat data view (for optimizers / soft updates).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data view.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `y = A·x` (length `rows`).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// `y = Aᵀ·g` (length `cols`) — input-gradient propagation.
+    pub fn matvec_t(&self, g: &[f64]) -> Vec<f64> {
+        assert_eq!(g.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for (r, &gr) in g.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, &a) in y.iter_mut().zip(row) {
+                *yc += a * gr;
+            }
+        }
+        y
+    }
+
+    /// `A += g ⊗ x` (outer product) — weight-gradient accumulation.
+    pub fn add_outer(&mut self, g: &[f64], x: &[f64]) {
+        assert_eq!(g.len(), self.rows);
+        assert_eq!(x.len(), self.cols);
+        for (r, &gr) in g.iter().enumerate() {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, &xv) in row.iter_mut().zip(x) {
+                *a += gr * xv;
+            }
+        }
+    }
+
+    /// Set every element to zero.
+    pub fn zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut m = Matrix::zeros(2, 3);
+        // [[1,2,3],[4,5,6]]
+        for (i, v) in (1..=6).enumerate() {
+            m.data_mut()[i] = v as f64;
+        }
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let mut m = Matrix::zeros(2, 3);
+        for (i, v) in (1..=6).enumerate() {
+            m.data_mut()[i] = v as f64;
+        }
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        m.add_outer(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 6.0);
+        assert_eq!(m.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn random_respects_limit_and_seed() {
+        let mut r1 = SmallRng::seed_from_u64(1);
+        let mut r2 = SmallRng::seed_from_u64(1);
+        let a = Matrix::random(4, 4, 0.5, &mut r1);
+        let b = Matrix::random(4, 4, 0.5, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn zero_clears() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut m = Matrix::random(3, 3, 1.0, &mut r);
+        m.zero();
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,413 @@
+//! Dense neural network with manual backpropagation and Adam.
+//!
+//! Small by design: the paper's actor/critic are 2-hidden-layer MLPs over
+//! a 10-dimensional state. Gradients are verified against central finite
+//! differences in this module's tests, so the DDPG layer above can trust
+//! them unconditionally.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+    /// 1/(1+e^-x) — used on the actor head to bound actions in (0, 1).
+    Sigmoid,
+    /// identity — used on the critic head.
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* y = f(x).
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One dense layer with cached forward state and accumulated gradients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    act: Activation,
+    // forward caches
+    input: Vec<f64>,
+    output: Vec<f64>,
+    // accumulated gradients
+    gw: Matrix,
+    gb: Vec<f64>,
+    // Adam moments
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new<R: Rng>(n_in: usize, n_out: usize, act: Activation, rng: &mut R) -> Self {
+        // Xavier-uniform init.
+        let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+        Dense {
+            w: Matrix::random(n_out, n_in, limit, rng),
+            b: vec![0.0; n_out],
+            act,
+            input: Vec::new(),
+            output: Vec::new(),
+            gw: Matrix::zeros(n_out, n_in),
+            gb: vec![0.0; n_out],
+            mw: Matrix::zeros(n_out, n_in),
+            vw: Matrix::zeros(n_out, n_in),
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        self.input = x.to_vec();
+        let mut y = self.w.matvec(x);
+        for (v, b) in y.iter_mut().zip(&self.b) {
+            *v = self.act.apply(*v + b);
+        }
+        self.output = y.clone();
+        y
+    }
+
+    /// Accumulate gradients for the last forward pass; return dLoss/dInput.
+    fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        assert_eq!(grad_out.len(), self.output.len(), "backward before forward?");
+        let delta: Vec<f64> = grad_out
+            .iter()
+            .zip(&self.output)
+            .map(|(&g, &y)| g * self.act.derivative_from_output(y))
+            .collect();
+        self.gw.add_outer(&delta, &self.input);
+        for (gb, d) in self.gb.iter_mut().zip(&delta) {
+            *gb += d;
+        }
+        self.w.matvec_t(&delta)
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.zero();
+        self.gb.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Adam optimizer state (one per network).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Standard Adam with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP with sizes `dims = [in, h1, …, out]`, `hidden`
+    /// activation on all but the last layer and `output` on the head.
+    pub fn new<R: Rng>(dims: &[usize], hidden: Activation, output: Activation, rng: &mut R) -> Self {
+        assert!(dims.len() >= 2);
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { output } else { hidden };
+                Dense::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass (caches activations for a subsequent backward).
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for l in &mut self.layers {
+            h = l.forward(&h);
+        }
+        h
+    }
+
+    /// Backpropagate `grad_out` (dLoss/dOutput), accumulating parameter
+    /// gradients; returns dLoss/dInput.
+    pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        let mut g = grad_out.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.layers.iter_mut().for_each(Dense::zero_grad);
+    }
+
+    /// One Adam step over the accumulated gradients, scaled by `1/scale`
+    /// (pass the batch size to average a batch's accumulation).
+    pub fn adam_step(&mut self, opt: &mut Adam, scale: f64) {
+        opt.t += 1;
+        let bc1 = 1.0 - opt.beta1.powi(opt.t as i32);
+        let bc2 = 1.0 - opt.beta2.powi(opt.t as i32);
+        for l in &mut self.layers {
+            let n = l.w.data().len();
+            for i in 0..n {
+                let g = l.gw.data()[i] / scale;
+                let m = &mut l.mw.data_mut()[i];
+                *m = opt.beta1 * *m + (1.0 - opt.beta1) * g;
+                let v = &mut l.vw.data_mut()[i];
+                *v = opt.beta2 * *v + (1.0 - opt.beta2) * g * g;
+                let mhat = l.mw.data()[i] / bc1;
+                let vhat = l.vw.data()[i] / bc2;
+                l.w.data_mut()[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+            }
+            for i in 0..l.b.len() {
+                let g = l.gb[i] / scale;
+                l.mb[i] = opt.beta1 * l.mb[i] + (1.0 - opt.beta1) * g;
+                l.vb[i] = opt.beta2 * l.vb[i] + (1.0 - opt.beta2) * g * g;
+                let mhat = l.mb[i] / bc1;
+                let vhat = l.vb[i] / bc2;
+                l.b[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+            }
+        }
+    }
+
+    /// Flat parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.data().len() + l.b.len())
+            .sum()
+    }
+
+    /// Visit all parameters (weights then biases, layer by layer).
+    pub fn for_each_param(&self, mut f: impl FnMut(f64)) {
+        for l in &self.layers {
+            l.w.data().iter().for_each(|&v| f(v));
+            l.b.iter().for_each(|&v| f(v));
+        }
+    }
+
+    /// Polyak / soft update: `self ← tau·source + (1−tau)·self`.
+    /// Networks must share an architecture.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), source.layers.len());
+        for (t, s) in self.layers.iter_mut().zip(&source.layers) {
+            for (tv, sv) in t.w.data_mut().iter_mut().zip(s.w.data()) {
+                *tv = tau * sv + (1.0 - tau) * *tv;
+            }
+            for (tv, sv) in t.b.iter_mut().zip(&s.b) {
+                *tv = tau * sv + (1.0 - tau) * *tv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mse_loss(y: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+        let loss = y
+            .iter()
+            .zip(target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / y.len() as f64;
+        let grad = y
+            .iter()
+            .zip(target)
+            .map(|(a, b)| 2.0 * (a - b) / y.len() as f64)
+            .collect();
+        (loss, grad)
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Perturb every parameter of a small net and compare the analytic
+        // gradient with a central difference.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut net = Mlp::new(&[3, 5, 4, 2], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = [0.3, -0.7, 0.9];
+        let target = [0.2, 0.8];
+
+        net.zero_grad();
+        let y = net.forward(&x);
+        let (_, grad) = mse_loss(&y, &target);
+        net.backward(&grad);
+
+        // Collect analytic grads.
+        let mut analytic = Vec::new();
+        for l in &net.layers {
+            analytic.extend_from_slice(l.gw.data());
+            analytic.extend_from_slice(&l.gb);
+        }
+
+        let eps = 1e-6;
+        let mut idx = 0;
+        let n_layers = net.layers.len();
+        for li in 0..n_layers {
+            let nw = net.layers[li].w.data().len();
+            let nb = net.layers[li].b.len();
+            for pi in 0..nw + nb {
+                let read = |net: &mut Mlp, d: f64| {
+                    if pi < nw {
+                        net.layers[li].w.data_mut()[pi] += d;
+                    } else {
+                        net.layers[li].b[pi - nw] += d;
+                    }
+                };
+                read(&mut net, eps);
+                let (lp, _) = mse_loss(&net.forward(&x), &target);
+                read(&mut net, -2.0 * eps);
+                let (lm, _) = mse_loss(&net.forward(&x), &target);
+                read(&mut net, eps);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[idx];
+                assert!(
+                    (a - numeric).abs() < 1e-6 * (1.0 + a.abs()),
+                    "param {idx}: analytic {a} vs numeric {numeric}"
+                );
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = Mlp::new(&[2, 6, 1], Activation::Relu, Activation::Linear, &mut rng);
+        let x = [0.4, -0.2];
+        net.zero_grad();
+        let y = net.forward(&x);
+        let gin = net.backward(&[1.0]);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let yp = net.forward(&xp)[0];
+            let mut xm = x;
+            xm[i] -= eps;
+            let ym = net.forward(&xm)[0];
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (gin[i] - numeric).abs() < 1e-6 * (1.0 + numeric.abs()),
+                "input {i}: {} vs {numeric} (y={})",
+                gin[i],
+                y[0]
+            );
+        }
+    }
+
+    #[test]
+    fn adam_fits_a_simple_function() {
+        // Regress y = sin on a few points; loss must drop by >10×.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        let mut opt = Adam::new(5e-3);
+        let xs: Vec<f64> = (0..16).map(|i| i as f64 / 16.0 * 3.0).collect();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..400 {
+            net.zero_grad();
+            let mut total = 0.0;
+            for &x in &xs {
+                let y = net.forward(&[x]);
+                let (l, g) = mse_loss(&y, &[x.sin()]);
+                total += l;
+                net.backward(&g);
+            }
+            net.adam_step(&mut opt, xs.len() as f64);
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(last < first / 10.0, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let a = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Linear, &mut rng);
+        let b = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Linear, &mut rng);
+        let mut t = a.clone();
+        t.soft_update_from(&b, 1.0); // full copy
+        let mut tb = Vec::new();
+        t.for_each_param(|v| tb.push(v));
+        let mut bb = Vec::new();
+        b.for_each_param(|v| bb.push(v));
+        assert_eq!(tb, bb);
+        let mut t2 = a.clone();
+        t2.soft_update_from(&b, 0.0); // no-op
+        let mut t2v = Vec::new();
+        t2.for_each_param(|v| t2v.push(v));
+        let mut av = Vec::new();
+        a.for_each_param(|v| av.push(v));
+        assert_eq!(t2v, av);
+    }
+
+    #[test]
+    fn sigmoid_head_bounds_output() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut net = Mlp::new(&[4, 8, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        for s in 0..20 {
+            let x: Vec<f64> = (0..4).map(|i| ((s * 4 + i) as f64).sin() * 10.0).collect();
+            let y = net.forward(&x)[0];
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_biases() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let net = Mlp::new(&[10, 64, 64, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        assert_eq!(net.num_params(), 10 * 64 + 64 + 64 * 64 + 64 + 64 + 1);
+    }
+}

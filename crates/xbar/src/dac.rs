@@ -1,0 +1,49 @@
+//! Digital-to-analog conversion of inputs.
+//!
+//! The paper uses 1-bit DACs (§4.1): an 8-bit activation is streamed over
+//! 8 compute cycles, one binary voltage plane per cycle, and the digital
+//! shift-and-add stage weighs each cycle's ADC samples by `2^cycle`. This
+//! module extracts those bit planes.
+
+/// Bit `bit` (0 = LSB) of one activation, as the binary wordline voltage.
+#[inline]
+pub fn input_bit(x: u8, bit: u32) -> u8 {
+    debug_assert!(bit < 8);
+    (x >> bit) & 1
+}
+
+/// The bit-`bit` voltage plane for a whole input vector.
+pub fn bit_plane(inputs: &[u8], bit: u32) -> Vec<u8> {
+    inputs.iter().map(|&x| input_bit(x, bit)).collect()
+}
+
+/// Digital sum of an input vector; the offset-subtraction unit uses this to
+/// remove the signed-weight encoding bias (see [`crate::crossbar`]).
+pub fn input_sum(inputs: &[u8]) -> i64 {
+    inputs.iter().map(|&x| x as i64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_reassemble_value() {
+        for x in [0u8, 1, 37, 128, 200, 255] {
+            let v: u32 = (0..8).map(|b| (input_bit(x, b) as u32) << b).sum();
+            assert_eq!(v, x as u32);
+        }
+    }
+
+    #[test]
+    fn bit_plane_is_elementwise() {
+        let p = bit_plane(&[0b1010, 0b0001, 0b1111], 1);
+        assert_eq!(p, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn input_sum_matches_manual() {
+        assert_eq!(input_sum(&[1, 2, 255]), 258);
+        assert_eq!(input_sum(&[]), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! ReRAM crossbar substrate for the AutoHet reproduction.
+//!
+//! This crate is the MNSIM-equivalent behavior-level model the paper builds
+//! on (§4.1 "We implement AutoHet based on a ReRAM simulator, MNSIM"),
+//! rebuilt from scratch in Rust:
+//!
+//! - [`geometry`]: crossbar shapes — the paper's square candidates
+//!   (32²…512²) and rectangle candidates with heights that are multiples of
+//!   9 (36×32 … 576×512, §3.3).
+//! - [`utilization`]: the paper's Eq. 4 — exact floor/ceil counting of how a
+//!   layer's unfolded weight matrix tiles onto an `r × c` crossbar array
+//!   under the kernel-per-column mapping of Fig. 7.
+//! - [`cost`], [`energy`], [`area`], [`latency`]: behavior-level component
+//!   cost models (ADC/DAC/cell/shift-add/buffer/leakage), ISAAC/MNSIM-style
+//!   counting; constants documented in DESIGN.md §4.
+//! - [`crossbar`] (+ [`adc`], [`dac`]): a *functional* analog crossbar that
+//!   really computes: 8-bit weights bit-sliced onto eight 1-bit cell planes
+//!   (§4.1 "we group eight crossbars in each PE to represent one weight"),
+//!   bit-serial 1-bit-DAC inputs, 10-bit ADC sampling, shift-and-add
+//!   recombination, offset-encoded signed weights. It reproduces the exact
+//!   integer MVM whenever bitline sums stay inside ADC range.
+//! - [`noise`]: beyond-paper non-idealities (conductance variation,
+//!   stuck-at faults) for robustness studies.
+
+pub mod adc;
+pub mod area;
+pub mod cost;
+pub mod crossbar;
+pub mod dac;
+pub mod energy;
+pub mod geometry;
+pub mod latency;
+pub mod noise;
+pub mod program_cost;
+pub mod utilization;
+
+pub use adc::Adc;
+pub use cost::CostParams;
+pub use crossbar::Crossbar;
+pub use energy::LayerEnergy;
+pub use geometry::XbarShape;
+pub use utilization::Footprint;

@@ -1,0 +1,136 @@
+//! ReRAM non-idealities (an extension beyond the paper's ideal-device
+//! evaluation; see DESIGN.md §6).
+//!
+//! Two standard device effects are modeled at the cell level:
+//! - **Conductance variation**: multiplicative Gaussian error on programmed
+//!   conductances (write variability / drift).
+//! - **Stuck-at faults**: cells frozen at low (SA0) or high (SA1)
+//!   conductance regardless of the programmed bit.
+//!
+//! The functional crossbar applies these to its bit planes; the ADC's
+//! round-to-nearest then either absorbs the perturbation (small sigma) or
+//! produces output errors, which the robustness tests quantify.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Cell-level fault/variation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Std-dev of the multiplicative conductance error (0 = ideal).
+    pub conductance_sigma: f64,
+    /// Probability a cell is stuck at low conductance (reads as 0).
+    pub stuck_at_zero: f64,
+    /// Probability a cell is stuck at high conductance (reads as 1).
+    pub stuck_at_one: f64,
+}
+
+impl NoiseModel {
+    /// The ideal device: no variation, no faults.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            conductance_sigma: 0.0,
+            stuck_at_zero: 0.0,
+            stuck_at_one: 0.0,
+        }
+    }
+
+    /// Pure conductance variation.
+    pub fn variation(sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        NoiseModel {
+            conductance_sigma: sigma,
+            ..Self::ideal()
+        }
+    }
+
+    /// True when every effect is disabled.
+    pub fn is_ideal(&self) -> bool {
+        self.conductance_sigma == 0.0 && self.stuck_at_zero == 0.0 && self.stuck_at_one == 0.0
+    }
+
+    /// Perturb one programmed binary-cell conductance (SA1 = full
+    /// conductance 1.0). For multi-level cells use
+    /// [`NoiseModel::perturb_leveled`].
+    pub fn perturb<R: Rng>(&self, ideal: f64, rng: &mut R) -> f64 {
+        self.perturb_leveled(ideal, 1.0, rng)
+    }
+
+    /// Perturb one programmed cell whose full-conductance level is
+    /// `max_level` (e.g. 3.0 for 2-bit cells).
+    pub fn perturb_leveled<R: Rng>(&self, ideal: f64, max_level: f64, rng: &mut R) -> f64 {
+        let roll: f64 = rng.gen();
+        if roll < self.stuck_at_zero {
+            return 0.0;
+        }
+        if roll < self.stuck_at_zero + self.stuck_at_one {
+            return max_level;
+        }
+        if self.conductance_sigma > 0.0 && ideal > 0.0 {
+            // Box–Muller normal sample; rand's distributions crate is not a
+            // declared dependency, so generate it directly.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (ideal * (1.0 + self.conductance_sigma * z)).max(0.0)
+        } else {
+            ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let m = NoiseModel::ideal();
+        assert!(m.is_ideal());
+        let mut rng = SmallRng::seed_from_u64(0);
+        for v in [0.0, 1.0] {
+            assert_eq!(m.perturb(v, &mut rng), v);
+        }
+    }
+
+    #[test]
+    fn variation_perturbs_ones_not_zeros() {
+        let m = NoiseModel::variation(0.1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Zero conductance stays zero (nothing to vary multiplicatively).
+        assert_eq!(m.perturb(0.0, &mut rng), 0.0);
+        let vals: Vec<f64> = (0..100).map(|_| m.perturb(1.0, &mut rng)).collect();
+        assert!(vals.iter().any(|&v| (v - 1.0).abs() > 1e-6));
+        assert!(vals.iter().all(|&v| v >= 0.0));
+        // Mean stays near 1.
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn stuck_at_faults_hit_expected_rate() {
+        let m = NoiseModel {
+            conductance_sigma: 0.0,
+            stuck_at_zero: 0.3,
+            stuck_at_one: 0.2,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let mut zeros = 0;
+        let mut ones = 0;
+        for _ in 0..n {
+            // Program a mid value so both fault directions are observable.
+            match m.perturb(1.0, &mut rng) {
+                0.0 => zeros += 1,
+                1.0 => ones += 1,
+                _ => unreachable!("no variation configured"),
+            }
+        }
+        let z = zeros as f64 / n as f64;
+        assert!((z - 0.3).abs() < 0.02, "SA0 rate {z}");
+        // ones includes both healthy cells (ideal 1.0) and SA1 cells.
+        assert_eq!(zeros + ones, n);
+    }
+}

@@ -1,0 +1,164 @@
+//! Crossbar programming (weight-write) cost and endurance model.
+//!
+//! The paper's flow programs weights once and then reuses the
+//! configuration for many inferences (§4.5). Programming is not free on
+//! real ReRAM: SET/RESET pulses are orders of magnitude more expensive
+//! than reads and cells endure a bounded number of writes. This module
+//! (extension, DESIGN.md §6) quantifies the one-time deployment cost of a
+//! mapping and how many redeployments a device survives — which matters
+//! when tile sharing remaps layers (Algorithm 1 moves a tile's occupants)
+//! or when several models rotate through one accelerator.
+
+use crate::cost::CostParams;
+use crate::utilization::Footprint;
+use serde::{Deserialize, Serialize};
+
+/// Write-path parameters (typical HfO₂ ReRAM ballpark).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteParams {
+    /// Energy per cell SET/RESET pulse [nJ].
+    pub e_write: f64,
+    /// Write pulse duration per row [ns] (cells in a row program in
+    /// parallel; rows are serialized per crossbar; crossbars program in
+    /// parallel).
+    pub t_write_row: f64,
+    /// Writes a cell endures before wear-out.
+    pub endurance: u64,
+}
+
+impl Default for WriteParams {
+    fn default() -> Self {
+        WriteParams {
+            e_write: 1.0e-2,
+            t_write_row: 100.0,
+            endurance: 1_000_000,
+        }
+    }
+}
+
+/// One-time programming cost of a layer mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramCost {
+    /// Physical cell writes (weight-holding cells × slices).
+    pub cell_writes: u64,
+    /// Programming energy [nJ].
+    pub energy_nj: f64,
+    /// Programming latency [ns] (rows serialized per crossbar, crossbars
+    /// in parallel ⇒ bounded by the crossbar height).
+    pub latency_ns: f64,
+}
+
+impl ProgramCost {
+    /// Sum two costs (parallel-programmed units: latency is the max).
+    pub fn merge(&self, other: &ProgramCost) -> ProgramCost {
+        ProgramCost {
+            cell_writes: self.cell_writes + other.cell_writes,
+            energy_nj: self.energy_nj + other.energy_nj,
+            latency_ns: self.latency_ns.max(other.latency_ns),
+        }
+    }
+}
+
+/// Programming cost of one layer's footprint.
+pub fn layer_program_cost(fp: &Footprint, p: &CostParams, w: &WriteParams) -> ProgramCost {
+    let writes = fp.used_cells * p.slices() as u64;
+    ProgramCost {
+        cell_writes: writes,
+        energy_nj: writes as f64 * w.e_write,
+        latency_ns: fp.shape.rows as f64 * w.t_write_row,
+    }
+}
+
+/// Number of full redeployments (complete weight rewrites) the device
+/// survives.
+pub fn redeployments_until_wearout(w: &WriteParams) -> u64 {
+    w.endurance
+}
+
+/// Inferences per deployment after which programming energy amortizes
+/// below `fraction` of the per-inference energy.
+pub fn amortization_inferences(
+    program_energy_nj: f64,
+    inference_energy_nj: f64,
+    fraction: f64,
+) -> u64 {
+    assert!(fraction > 0.0 && inference_energy_nj > 0.0);
+    (program_energy_nj / (inference_energy_nj * fraction)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::XbarShape;
+    use crate::utilization::footprint;
+    use autohet_dnn::Layer;
+
+    fn fp() -> Footprint {
+        footprint(&Layer::conv(0, 12, 128, 3, 1, 1, 16), XbarShape::square(64))
+    }
+
+    #[test]
+    fn writes_count_physical_cells() {
+        let p = CostParams::default();
+        let w = WriteParams::default();
+        let c = layer_program_cost(&fp(), &p, &w);
+        // 12·9·128 weight cells × 8 slices.
+        assert_eq!(c.cell_writes, 12 * 9 * 128 * 8);
+        assert!((c.energy_nj - c.cell_writes as f64 * w.e_write).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_row_serialized_per_crossbar() {
+        let p = CostParams::default();
+        let w = WriteParams::default();
+        let c = layer_program_cost(&fp(), &p, &w);
+        assert!((c.latency_ns - 64.0 * w.t_write_row).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_energy_and_maxes_latency() {
+        let a = ProgramCost {
+            cell_writes: 10,
+            energy_nj: 1.0,
+            latency_ns: 5.0,
+        };
+        let b = ProgramCost {
+            cell_writes: 20,
+            energy_nj: 2.0,
+            latency_ns: 3.0,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.cell_writes, 30);
+        assert_eq!(m.energy_nj, 3.0);
+        assert_eq!(m.latency_ns, 5.0);
+    }
+
+    #[test]
+    fn programming_amortizes_quickly() {
+        // Programming VGG16-scale weights (~2e7 cell writes × 1e-2 nJ =
+        // 2e5 nJ) against a ~2e6 nJ inference: amortized below 1% within
+        // a handful of inferences.
+        let n = amortization_inferences(2.0e5, 2.0e6, 0.01);
+        assert_eq!(n, 10);
+        assert_eq!(amortization_inferences(0.0, 1.0, 0.5), 0);
+    }
+
+    #[test]
+    fn fewer_slices_mean_fewer_writes() {
+        let mut p = CostParams::default();
+        let w = WriteParams::default();
+        let eight = layer_program_cost(&fp(), &p, &w).cell_writes;
+        p.cell_bits = 4; // 2 slices
+        let two = layer_program_cost(&fp(), &p, &w).cell_writes;
+        assert_eq!(eight, 4 * two);
+    }
+
+    #[test]
+    fn endurance_bounds_redeployments() {
+        let w = WriteParams {
+            endurance: 1000,
+            ..WriteParams::default()
+        };
+        assert_eq!(redeployments_until_wearout(&w), 1000);
+    }
+}

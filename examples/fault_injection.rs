@@ -1,0 +1,65 @@
+//! Device non-ideality study (beyond the paper's ideal-device evaluation):
+//! how conductance variation and stuck-at faults degrade inference through
+//! the mapped accelerator.
+//!
+//! ```sh
+//! cargo run --release -p autohet --example fault_injection
+//! ```
+
+use autohet_accel::MappedModel;
+use autohet_dnn::zoo;
+use autohet_xbar::noise::NoiseModel;
+use autohet_xbar::{CostParams, XbarShape};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn agreement(clean: &MappedModel, noisy: &MappedModel, images: usize) -> f64 {
+    let mut agree = 0;
+    for i in 0..images {
+        let img = clean.model.dataset.synthetic_image(i as u64);
+        if clean.infer(&img).argmax() == noisy.infer(&img).argmax() {
+            agree += 1;
+        }
+    }
+    agree as f64 / images as f64
+}
+
+fn main() {
+    let model = zoo::micro_cnn();
+    let strategy = vec![XbarShape::new(72, 64); model.layers.len()];
+    let clean = MappedModel::program_synthetic(&model, &strategy, 7, CostParams::default());
+    let images = 12;
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    println!("model {}, {} images, strategy 72x64\n", model.name, images);
+    println!("{:>28} {:>12}", "fault model", "agreement");
+
+    let mut run = |label: &str, nm: NoiseModel| {
+        let mut noisy = clean.clone();
+        for ml in noisy.layers.iter_mut() {
+            for xb in ml.crossbars_mut() {
+                xb.apply_noise(&nm, &mut rng);
+            }
+        }
+        println!(
+            "{:>28} {:>11.0}%",
+            label,
+            agreement(&clean, &noisy, images) * 100.0
+        );
+    };
+
+    run("ideal", NoiseModel::ideal());
+    for sigma in [0.01, 0.05, 0.1, 0.3] {
+        run(&format!("variation sigma={sigma}"), NoiseModel::variation(sigma));
+    }
+    for p in [0.001, 0.01, 0.05] {
+        run(
+            &format!("stuck-at (SA0=SA1={p})"),
+            NoiseModel {
+                conductance_sigma: 0.0,
+                stuck_at_zero: p,
+                stuck_at_one: p,
+            },
+        );
+    }
+}

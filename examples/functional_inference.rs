@@ -1,0 +1,91 @@
+//! Numerical inference through the mapped accelerator.
+//!
+//! Programs a small CNN's (synthetic) weights onto heterogeneous
+//! crossbars — 8-bit weights bit-sliced over eight 1-bit planes, bit-serial
+//! inputs, 10-bit ADCs — runs images through the analog pipeline, and
+//! compares logits against the floating-point golden model.
+//!
+//! ```sh
+//! cargo run --release -p autohet --example functional_inference
+//! ```
+
+use autohet_accel::MappedModel;
+use autohet_dnn::ops::{self, synthetic_weights};
+use autohet_dnn::{zoo, LayerKind, Stage, Tensor};
+use autohet_xbar::{CostParams, XbarShape};
+
+fn float_reference(model: &autohet_dnn::Model, img: &Tensor, seed: u64) -> Tensor {
+    let weights: Vec<Tensor> = model
+        .layers
+        .iter()
+        .map(|l| synthetic_weights(l, seed))
+        .collect();
+    let last = model.layers.len() - 1;
+    let mut act = img.clone();
+    for stage in &model.stages {
+        match *stage {
+            Stage::Pool(w) => act = ops::max_pool(&act, w),
+            Stage::Layer(i) => {
+                let l = &model.layers[i];
+                act = match l.kind {
+                    LayerKind::DepthwiseConv => ops::depthwise_conv2d(l, &act, &weights[i]),
+                    LayerKind::Conv => ops::conv2d(l, &act, &weights[i]),
+                    LayerKind::Fc => Tensor::from_vec(
+                        vec![l.out_channels],
+                        ops::fully_connected(act.data(), &weights[i]),
+                    ),
+                };
+                if i != last {
+                    ops::relu(&mut act);
+                }
+            }
+        }
+    }
+    act
+}
+
+fn main() {
+    let model = zoo::test_cnn();
+    let seed = 42;
+    // A deliberately heterogeneous strategy: every layer gets a different
+    // crossbar shape; the numerics must not care.
+    let strategy = vec![
+        XbarShape::square(32),
+        XbarShape::new(72, 64),
+        XbarShape::square(128),
+        XbarShape::new(288, 256),
+        XbarShape::new(36, 32),
+    ];
+    assert_eq!(strategy.len(), model.layers.len());
+
+    println!("programming {} onto heterogeneous crossbars...", model.name);
+    let mm = MappedModel::program_synthetic(&model, &strategy, seed, CostParams::default());
+    for (ml, s) in mm.layers.iter().zip(&strategy) {
+        let (gr, gc) = ml.grid_dims();
+        println!("  L{}: {}  grid {}x{}", ml.layer.index + 1, s, gr, gc);
+    }
+
+    let mut agree = 0;
+    let n = 8;
+    for i in 0..n {
+        let img = model.dataset.synthetic_image(i);
+        let analog = mm.infer(&img);
+        let float = float_reference(&model, &img, seed);
+        let a = analog.argmax().unwrap();
+        let f = float.argmax().unwrap();
+        let max_rel = analog
+            .data()
+            .iter()
+            .zip(float.data())
+            .map(|(x, y)| (x - y).abs() / float.max_abs().max(1e-6))
+            .fold(0.0_f32, f32::max);
+        println!(
+            "image {i}: crossbar argmax {a}, float argmax {f}, max relative logit error {:.3}",
+            max_rel
+        );
+        if a == f {
+            agree += 1;
+        }
+    }
+    println!("\nclassification agreement: {agree}/{n}");
+}

@@ -1,0 +1,64 @@
+//! Batch-pipelined execution analysis (PipeLayer/ISAAC-style; extension
+//! beyond the paper's single-sample latency).
+//!
+//! Shows per-stage latencies of VGG16 under a searched strategy, the
+//! pipeline bottleneck, batch speedups, and how ISAAC-style weight
+//! replication rebalances the pipeline at a crossbar cost.
+//!
+//! ```sh
+//! cargo run --release -p autohet --example pipeline_throughput
+//! ```
+
+use autohet::prelude::*;
+use autohet_accel::pipeline::{balance_replication, pipeline_report, replicated_stages};
+use autohet_rl::DdpgConfig;
+
+fn main() {
+    let model = autohet_dnn::zoo::vgg16();
+    let cfg = AccelConfig::default().with_tile_sharing();
+    let scfg = RlSearchConfig {
+        episodes: 120,
+        ddpg: DdpgConfig {
+            seed: 42,
+            ..DdpgConfig::default()
+        },
+        ..RlSearchConfig::default()
+    };
+    let outcome = rl_search(&model, &paper_hybrid_candidates(), &cfg, &scfg);
+    let report = pipeline_report(&model, &outcome.best_strategy, &cfg);
+
+    println!("per-stage latency (ns), {}:", model.name);
+    for (i, (s, shape)) in report.stage_ns.iter().zip(&outcome.best_strategy).enumerate() {
+        let marker = if i == report.bottleneck_layer { "  <- bottleneck" } else { "" };
+        println!("  L{:<2} [{:>8}] {:>12.0}{marker}", i + 1, shape.to_string(), s);
+    }
+    println!(
+        "\nfill latency {:.3e} ns, bottleneck {:.3e} ns, steady-state {:.1} inferences/s",
+        report.fill_ns,
+        report.bottleneck_ns,
+        report.throughput_sps()
+    );
+    for n in [1usize, 8, 64, 512] {
+        println!(
+            "batch {n:>4}: latency {:.3e} ns, speedup over sequential {:.2}x",
+            report.batch_latency_ns(n),
+            report.speedup(n)
+        );
+    }
+
+    println!("\nISAAC-style replication (max factor 8):");
+    let plan = balance_replication(&report, 1.0, 8);
+    let after = replicated_stages(&report, &plan);
+    let new_bottleneck = after.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "  factors: {:?}",
+        plan.factors
+    );
+    println!(
+        "  bottleneck {:.3e} -> {:.3e} ns ({:.2}x throughput) for {} extra crossbars",
+        report.bottleneck_ns,
+        new_bottleneck,
+        report.bottleneck_ns / new_bottleneck,
+        plan.extra_xbars(&model, &outcome.best_strategy)
+    );
+}

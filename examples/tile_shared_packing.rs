@@ -1,0 +1,70 @@
+//! Tile-shared allocation in isolation (paper §3.4, Fig. 8, Algorithm 1).
+//!
+//! Maps AlexNet onto 72×64 crossbars with the plain tile-based allocator,
+//! shows the tile occupancy, then applies Algorithm 1 and shows how
+//! layers pack into shared tiles.
+//!
+//! ```sh
+//! cargo run --release -p autohet --example tile_shared_packing
+//! ```
+
+use autohet_accel::alloc::allocate_tile_based;
+use autohet_accel::tile_shared::apply_tile_sharing;
+use autohet_xbar::XbarShape;
+
+fn main() {
+    let model = autohet_dnn::zoo::alexnet();
+    let shape = XbarShape::new(72, 64);
+    let strategy = vec![shape; model.layers.len()];
+    let capacity = 4;
+
+    let mut alloc = allocate_tile_based(&model, &strategy, capacity);
+    println!(
+        "tile-based allocation: {} tiles, {} crossbars allocated, {} occupied ({} empty)",
+        alloc.tiles.len(),
+        alloc.allocated_xbars(),
+        alloc.occupied_xbars(),
+        alloc.empty_xbars()
+    );
+    println!("\nper-layer grants:");
+    for p in &alloc.per_layer {
+        println!(
+            "  L{:<2} needs {:>4} crossbars -> {:>3} tiles ({:>4.1}% of grant empty)",
+            p.layer_index + 1,
+            p.footprint.total_xbars(),
+            p.tiles,
+            p.empty_fraction(capacity) * 100.0
+        );
+    }
+
+    let report = apply_tile_sharing(&mut alloc);
+    println!(
+        "\nAlgorithm 1: {} -> {} tiles ({} freed, {} combinations)",
+        report.tiles_before,
+        report.tiles_after,
+        report.freed(),
+        report.combinations.len()
+    );
+
+    println!("\nshared tiles (multiple layers per tile):");
+    for t in alloc.tiles.iter().filter(|t| t.distinct_layers() > 1) {
+        let occ: Vec<String> = t
+            .occupants
+            .iter()
+            .map(|s| format!("L{}x{}", s.layer_index + 1, s.xbars))
+            .collect();
+        println!(
+            "  tile {:>3} [{}]: {} / {} crossbars used by {}",
+            t.id,
+            t.shape,
+            t.occupied(),
+            t.capacity,
+            occ.join(", ")
+        );
+    }
+    println!(
+        "\nutilization of allocated crossbars: {:.1}% -> {:.1}%",
+        alloc.occupied_xbars() as f64 / (report.tiles_before as u64 * capacity as u64) as f64 * 100.0,
+        alloc.occupied_xbars() as f64 / alloc.allocated_xbars() as f64 * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! The paper's flagship workload: VGG16 on CIFAR-10.
+//!
+//! Runs the §4.3 ablation (Base → +He → +Hy → All) and prints per-layer
+//! crossbar choices (the paper's Table 3) and occupied tiles (Table 4).
+//!
+//! ```sh
+//! cargo run --release -p autohet --example vgg16_search -- [episodes]
+//! ```
+
+use autohet::ablation::run_ablation;
+use autohet::prelude::*;
+use autohet_rl::DdpgConfig;
+
+fn main() {
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("episodes must be a number"))
+        .unwrap_or(150);
+    let model = autohet_dnn::zoo::vgg16();
+    let scfg = RlSearchConfig {
+        episodes,
+        ddpg: DdpgConfig {
+            seed: 42,
+            ..DdpgConfig::default()
+        },
+        ..RlSearchConfig::default()
+    };
+
+    println!("ablation on {} ({} episodes per stage)\n", model.name, episodes);
+    let results = run_ablation(&model, &scfg);
+
+    println!(
+        "{:>6} {:>12} {:>8} {:>14} {:>7}",
+        "stage", "RUE", "util %", "energy nJ", "tiles"
+    );
+    for r in &results {
+        println!(
+            "{:>6} {:>12.3e} {:>8.1} {:>14.3e} {:>7}",
+            r.stage.label(),
+            r.report.rue(),
+            r.report.utilization_pct(),
+            r.report.energy_nj(),
+            r.report.tiles
+        );
+    }
+
+    println!("\nper-layer crossbar sizes (paper Table 3):");
+    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "layer", "Base", "+He", "+Hy", "All");
+    for i in 0..model.layers.len() {
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>10}",
+            format!("L{}", i + 1),
+            results[0].strategy[i].to_string(),
+            results[1].strategy[i].to_string(),
+            results[2].strategy[i].to_string(),
+            results[3].strategy[i].to_string(),
+        );
+    }
+
+    let hy = results[2].report.tiles;
+    let all = results[3].report.tiles;
+    println!(
+        "\noccupied tiles (paper Table 4): +Hy {} -> All {} ({:.1}% fewer)",
+        hy,
+        all,
+        (hy - all) as f64 / hy as f64 * 100.0
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: functional inference through programmed
+//! crossbars vs the floating-point golden model, including searched
+//! strategies and device-fault injection.
+
+use autohet::prelude::*;
+use autohet_accel::MappedModel;
+use autohet_dnn::ops::{self, synthetic_weights};
+use autohet_dnn::{zoo, LayerKind, Model, Stage, Tensor};
+use autohet_rl::DdpgConfig;
+use autohet_xbar::noise::NoiseModel;
+use autohet_xbar::CostParams;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn float_reference(model: &Model, img: &Tensor, seed: u64) -> Tensor {
+    let weights: Vec<Tensor> = model
+        .layers
+        .iter()
+        .map(|l| synthetic_weights(l, seed))
+        .collect();
+    let last = model.layers.len() - 1;
+    let mut act = img.clone();
+    for stage in &model.stages {
+        match *stage {
+            Stage::Pool(w) => act = ops::max_pool(&act, w),
+            Stage::Layer(i) => {
+                let l = &model.layers[i];
+                act = match l.kind {
+                    LayerKind::DepthwiseConv => ops::depthwise_conv2d(l, &act, &weights[i]),
+                    LayerKind::Conv => ops::conv2d(l, &act, &weights[i]),
+                    LayerKind::Fc => Tensor::from_vec(
+                        vec![l.out_channels],
+                        ops::fully_connected(act.data(), &weights[i]),
+                    ),
+                };
+                if i != last {
+                    ops::relu(&mut act);
+                }
+            }
+        }
+    }
+    act
+}
+
+#[test]
+fn searched_strategy_preserves_numerics_on_micro_cnn() {
+    // Search a heterogeneous configuration, then actually run inference
+    // through it: accuracy must match the float model's decisions.
+    let m = zoo::micro_cnn();
+    let outcome = rl_search(
+        &m,
+        &paper_hybrid_candidates(),
+        &AccelConfig::default().with_tile_sharing(),
+        &RlSearchConfig {
+            episodes: 30,
+            ddpg: DdpgConfig {
+                seed: 5,
+                hidden: 32,
+                batch: 32,
+                ..DdpgConfig::default()
+            },
+            train_steps: 2,
+            ..RlSearchConfig::default()
+        },
+    );
+    let mm = MappedModel::program_synthetic(&m, &outcome.best_strategy, 9, CostParams::default());
+    let mut agree = 0;
+    for i in 0..6 {
+        let img = m.dataset.synthetic_image(i);
+        let analog = mm.infer(&img);
+        let float = float_reference(&m, &img, 9);
+        if analog.argmax() == float.argmax() {
+            agree += 1;
+        }
+    }
+    assert!(agree >= 5, "only {agree}/6 classifications agree");
+}
+
+#[test]
+fn logits_track_float_reference_within_tolerance() {
+    let m = zoo::test_cnn();
+    let strategy = vec![XbarShape::new(288, 256); m.layers.len()];
+    let mm = MappedModel::program_synthetic(&m, &strategy, 3, CostParams::default());
+    let img = m.dataset.synthetic_image(0);
+    let analog = mm.infer(&img);
+    let float = float_reference(&m, &img, 3);
+    let scale = float.max_abs();
+    for (a, f) in analog.data().iter().zip(float.data()) {
+        assert!(
+            (a - f).abs() / scale < 0.1,
+            "logit drift: crossbar {a} vs float {f}"
+        );
+    }
+}
+
+#[test]
+fn mild_device_variation_keeps_decisions_heavy_faults_break_numerics() {
+    let m = zoo::micro_cnn();
+    let strategy = vec![XbarShape::square(64); m.layers.len()];
+    let img = m.dataset.synthetic_image(2);
+    let clean = MappedModel::program_synthetic(&m, &strategy, 4, CostParams::default());
+    let clean_out = clean.infer(&img);
+
+    // Mild variation: sub-half-LSB bitline perturbations vanish at the ADC.
+    let mut mild = clean.clone();
+    let mut rng = SmallRng::seed_from_u64(100);
+    for ml in mild.layers.iter_mut() {
+        for xb in ml.crossbars_mut() {
+            xb.apply_noise(&NoiseModel::variation(0.002), &mut rng);
+        }
+    }
+    let mild_out = mild.infer(&img);
+    assert_eq!(mild_out.argmax(), clean_out.argmax());
+
+    // Heavy stuck-at faults corrupt the outputs measurably.
+    let mut broken = clean.clone();
+    for ml in broken.layers.iter_mut() {
+        for xb in ml.crossbars_mut() {
+            xb.apply_noise(
+                &NoiseModel {
+                    conductance_sigma: 0.3,
+                    stuck_at_zero: 0.1,
+                    stuck_at_one: 0.1,
+                },
+                &mut rng,
+            );
+        }
+    }
+    let broken_out = broken.infer(&img);
+    assert_ne!(broken_out.data(), clean_out.data());
+}
+
+#[test]
+fn alexnet_first_conv_runs_through_crossbars() {
+    // One real paper-workload layer end to end (full AlexNet inference is
+    // exercised at example scale; a single 28×28 conv keeps CI fast).
+    let m = zoo::alexnet();
+    let layer = m.layers[0];
+    let w = synthetic_weights(&layer, 0);
+    let ml = autohet_accel::MappedLayer::program(
+        &layer,
+        XbarShape::square(32),
+        &w,
+        &CostParams::default(),
+    );
+    let img = m.dataset.synthetic_image(1);
+    let cols = ops::im2col(&layer, &img);
+    // Quantize one presentation and compare against the integer product.
+    let xq: Vec<u8> = (0..layer.weight_rows())
+        .map(|r| (cols.at2(r, 0) * 255.0).round() as u8)
+        .collect();
+    let y = ml.mvm(&xq, &autohet_xbar::Adc::new(10));
+    let (wq, _) = autohet_dnn::quant::quantize_matrix(&w, 8);
+    let xi: Vec<i32> = xq.iter().map(|&v| v as i32).collect();
+    let expect: Vec<i64> = ops::mvm_i32(&wq, &xi).into_iter().map(i64::from).collect();
+    assert_eq!(y, expect);
+}

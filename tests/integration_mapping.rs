@@ -1,0 +1,82 @@
+//! Cross-crate integration: layer geometry (dnn) → Eq. 4 footprints
+//! (xbar) → allocation (accel), on the paper's real workloads.
+
+use autohet::prelude::*;
+use autohet_accel::alloc::allocate_tile_based;
+use autohet_accel::tile_shared::apply_tile_sharing;
+use autohet_dnn::zoo;
+use autohet_xbar::utilization::footprint;
+
+#[test]
+fn every_paper_model_maps_on_every_candidate() {
+    for model in zoo::paper_models() {
+        for shape in all_candidates() {
+            for layer in &model.layers {
+                let fp = footprint(layer, shape);
+                assert!(fp.total_xbars() >= 1);
+                let u = fp.utilization();
+                assert!(
+                    u > 0.0 && u <= 1.0 + 1e-12,
+                    "{} layer {} on {shape}: util {u}",
+                    model.name,
+                    layer.index
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vgg16_crossbar_demand_shrinks_with_crossbar_size() {
+    let m = zoo::vgg16();
+    let mut prev = u64::MAX;
+    for shape in SQUARE_CANDIDATES {
+        let total: u64 = m
+            .layers
+            .iter()
+            .map(|l| footprint(l, shape).total_xbars())
+            .sum();
+        assert!(total < prev, "{shape}: {total} !< {prev}");
+        prev = total;
+    }
+}
+
+#[test]
+fn allocation_conserves_crossbars_across_sharing() {
+    for model in [zoo::alexnet(), zoo::vgg16()] {
+        let strategy = vec![XbarShape::new(72, 64); model.layers.len()];
+        let mut alloc = allocate_tile_based(&model, &strategy, 4);
+        let occupied_before = alloc.occupied_xbars();
+        let report = apply_tile_sharing(&mut alloc);
+        assert_eq!(alloc.occupied_xbars(), occupied_before);
+        assert_eq!(report.tiles_after, alloc.tiles.len());
+        assert!(alloc.tiles.iter().all(|t| t.occupied() <= t.capacity));
+    }
+}
+
+#[test]
+fn resnet152_stem_split_kernel_allocates() {
+    // The 7×7 stem on 32-row crossbars exercises the kernel-splitting
+    // path end to end.
+    let m = zoo::resnet152();
+    let strategy = vec![XbarShape::square(32); m.layers.len()];
+    let alloc = allocate_tile_based(&m, &strategy, 4);
+    let stem = &alloc.per_layer[0];
+    assert_eq!(stem.footprint.kernels_per_column, 0);
+    assert!(stem.footprint.total_xbars() >= 6);
+}
+
+#[test]
+fn rectangle_crossbars_reduce_vgg16_crossbar_count() {
+    // §3.3's pitch quantified: 72×64 needs fewer crossbars than 64×64 for
+    // the all-3×3 VGG16 body.
+    let m = zoo::vgg16();
+    let count = |shape: XbarShape| -> u64 {
+        m.layers
+            .iter()
+            .filter(|l| l.kernel == 3)
+            .map(|l| footprint(l, shape).total_xbars())
+            .sum()
+    };
+    assert!(count(XbarShape::new(72, 64)) < count(XbarShape::square(64)));
+}
