@@ -8,7 +8,7 @@
 //! exactly this waste; [`crate::tile_shared`] then repairs it.
 
 use crate::hierarchy::Tile;
-use autohet_dnn::Model;
+use autohet_dnn::{Layer, Model};
 use autohet_xbar::utilization::{footprint, Footprint};
 use autohet_xbar::XbarShape;
 use serde::{Deserialize, Serialize};
@@ -97,6 +97,45 @@ impl Allocation {
     }
 }
 
+/// Placement of a single layer under the tile-based scheme: the pure,
+/// per-(layer, shape) half of the allocator, safe to memoize because it
+/// depends on nothing but the layer, the shape, and the tile capacity.
+pub fn placement_for(layer: &Layer, shape: XbarShape, capacity: u32) -> LayerPlacement {
+    assert!(capacity >= 1);
+    let fp = footprint(layer, shape);
+    LayerPlacement {
+        layer_index: layer.index,
+        shape,
+        footprint: fp,
+        tiles: fp.total_xbars().div_ceil(capacity as u64),
+    }
+}
+
+/// Materialize concrete tiles from per-layer placements — the second,
+/// strategy-dependent half of the tile-based scheme, shared by
+/// [`allocate_tile_based`] and the memoized [`crate::engine::EvalEngine`]
+/// so both produce identical allocations.
+pub fn allocation_from_placements(per_layer: Vec<LayerPlacement>, capacity: u32) -> Allocation {
+    assert!(capacity >= 1);
+    let mut tiles = Vec::new();
+    for pl in &per_layer {
+        let mut remaining = pl.footprint.total_xbars();
+        debug_assert_eq!(pl.tiles, remaining.div_ceil(capacity as u64));
+        for _ in 0..pl.tiles {
+            let mut t = Tile::new(tiles.len(), pl.shape, capacity);
+            let take = remaining.min(capacity as u64) as u32;
+            t.place(pl.layer_index, take);
+            remaining -= take as u64;
+            tiles.push(t);
+        }
+    }
+    Allocation {
+        capacity,
+        tiles,
+        per_layer,
+    }
+}
+
 /// Allocate `model` under `strategy` (one shape per layer) with the
 /// tile-based scheme: every layer gets its own whole tiles.
 pub fn allocate_tile_based(model: &Model, strategy: &[XbarShape], capacity: u32) -> Allocation {
@@ -106,31 +145,13 @@ pub fn allocate_tile_based(model: &Model, strategy: &[XbarShape], capacity: u32)
         "strategy length must match layer count"
     );
     assert!(capacity >= 1);
-    let mut tiles = Vec::new();
-    let mut per_layer = Vec::with_capacity(model.layers.len());
-    for (layer, &shape) in model.layers.iter().zip(strategy) {
-        let fp = footprint(layer, shape);
-        let mut remaining = fp.total_xbars();
-        let tiles_needed = remaining.div_ceil(capacity as u64);
-        for _ in 0..tiles_needed {
-            let mut t = Tile::new(tiles.len(), shape, capacity);
-            let take = remaining.min(capacity as u64) as u32;
-            t.place(layer.index, take);
-            remaining -= take as u64;
-            tiles.push(t);
-        }
-        per_layer.push(LayerPlacement {
-            layer_index: layer.index,
-            shape,
-            footprint: fp,
-            tiles: tiles_needed,
-        });
-    }
-    Allocation {
-        capacity,
-        tiles,
-        per_layer,
-    }
+    let per_layer: Vec<LayerPlacement> = model
+        .layers
+        .iter()
+        .zip(strategy)
+        .map(|(layer, &shape)| placement_for(layer, shape, capacity))
+        .collect();
+    allocation_from_placements(per_layer, capacity)
 }
 
 #[cfg(test)]
@@ -239,5 +260,21 @@ mod tests {
     fn strategy_length_mismatch_panics() {
         let m = zoo::micro_cnn();
         let _ = allocate_tile_based(&m, &[XbarShape::square(32)], 4);
+    }
+
+    #[test]
+    fn placements_rebuild_the_same_allocation() {
+        // The split halves of the allocator must compose back to exactly
+        // what the one-shot path produces (the EvalEngine relies on this).
+        let m = zoo::alexnet();
+        let strategy = uniform(&m, XbarShape::square(64));
+        let direct = allocate_tile_based(&m, &strategy, 4);
+        let per_layer: Vec<LayerPlacement> = m
+            .layers
+            .iter()
+            .zip(&strategy)
+            .map(|(l, &s)| placement_for(l, s, 4))
+            .collect();
+        assert_eq!(allocation_from_placements(per_layer, 4), direct);
     }
 }

@@ -1,0 +1,421 @@
+//! Memoized strategy evaluation — the search drivers' hot path.
+//!
+//! The paper reports that ~97% of search time is simulator feedback
+//! (§4.5), and every driver in `autohet` used to rebuild the entire
+//! allocation + energy/latency pipeline from scratch per strategy. Two
+//! observations make that redundant:
+//!
+//! 1. A layer's placement footprint, latency, and dynamic energy depend
+//!    only on the `(layer, shape)` pair — there are only `L × C` distinct
+//!    pairs (VGG16 × 5 candidates = 80), while a 300-episode search asks
+//!    for `300 × L` of them. [`EvalEngine`] caches these slices and
+//!    composes full [`EvalReport`]s from them, leaving only tile-sharing
+//!    packing and global aggregation per call.
+//! 2. Converged searches revisit identical whole strategies; a bounded
+//!    strategy → report cache makes those repeats O(1).
+//!
+//! Results are bit-identical to [`evaluate`](crate::evaluate): both paths
+//! build placements via [`crate::alloc::placement_for`] and aggregate via
+//! `metrics::compose_report`, so the floats are accumulated in exactly the
+//! same order. A shared engine is `Sync`; parallel sweep workers evaluate
+//! concurrently against one memo table.
+
+use crate::alloc::{allocation_from_placements, placement_for, LayerPlacement};
+use crate::hierarchy::AccelConfig;
+use crate::metrics::{compose_report, layer_cost, EvalReport, LayerCost};
+use crate::tile_shared::apply_tile_sharing;
+use autohet_dnn::Model;
+use autohet_xbar::XbarShape;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cached per-(layer, shape) evaluation slice.
+#[derive(Debug, Clone, Copy)]
+struct LayerSlice {
+    placement: LayerPlacement,
+    cost: LayerCost,
+}
+
+/// Bounded strategy → report map with insertion-order (FIFO) eviction.
+#[derive(Debug, Clone, Default)]
+struct StrategyCache {
+    capacity: usize,
+    map: HashMap<Vec<XbarShape>, EvalReport>,
+    order: VecDeque<Vec<XbarShape>>,
+}
+
+impl StrategyCache {
+    fn get(&self, key: &[XbarShape]) -> Option<EvalReport> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: Vec<XbarShape>, report: EvalReport) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, report);
+    }
+}
+
+/// Cache hit/miss counters, snapshot via [`EvalEngine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Whole-strategy cache hits (O(1) repeated evaluations).
+    pub strategy_hits: u64,
+    /// Whole-strategy cache misses (full compositions performed).
+    pub strategy_misses: u64,
+    /// Per-(layer, shape) memo hits.
+    pub layer_hits: u64,
+    /// Per-(layer, shape) memo misses (full layer-slice computations —
+    /// bounded by `L × C` distinct pairs, not by episodes × layers).
+    pub layer_misses: u64,
+}
+
+impl EngineStats {
+    /// Fraction of strategy evaluations served from the strategy cache.
+    pub fn strategy_hit_rate(&self) -> f64 {
+        let total = self.strategy_hits + self.strategy_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.strategy_hits as f64 / total as f64
+    }
+
+    /// Fraction of layer-slice lookups served from the memo table.
+    pub fn layer_hit_rate(&self) -> f64 {
+        let total = self.layer_hits + self.layer_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.layer_hits as f64 / total as f64
+    }
+
+    /// Full (uncached) strategy compositions performed.
+    pub fn full_evaluations(&self) -> u64 {
+        self.strategy_misses
+    }
+
+    /// Counter deltas since an earlier snapshot (saturating, so a snapshot
+    /// taken around a shared engine's concurrent use never underflows).
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            strategy_hits: self.strategy_hits.saturating_sub(earlier.strategy_hits),
+            strategy_misses: self.strategy_misses.saturating_sub(earlier.strategy_misses),
+            layer_hits: self.layer_hits.saturating_sub(earlier.layer_hits),
+            layer_misses: self.layer_misses.saturating_sub(earlier.layer_misses),
+        }
+    }
+}
+
+/// Memoized evaluator for one `(model, config)` pair.
+///
+/// ```
+/// use autohet_accel::{evaluate, AccelConfig, EvalEngine};
+/// use autohet_xbar::XbarShape;
+///
+/// let model = autohet_dnn::zoo::micro_cnn();
+/// let cfg = AccelConfig::default().with_tile_sharing();
+/// let strategy = vec![XbarShape::square(64); model.layers.len()];
+///
+/// let engine = EvalEngine::new(model.clone(), cfg);
+/// let cached = engine.evaluate(&strategy);
+/// assert_eq!(cached, evaluate(&model, &strategy, &cfg));
+/// assert_eq!(engine.stats().strategy_hits, 0);
+/// engine.evaluate(&strategy);
+/// assert_eq!(engine.stats().strategy_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct EvalEngine {
+    model: Model,
+    cfg: AccelConfig,
+    layers: Mutex<HashMap<(usize, XbarShape), LayerSlice>>,
+    strategies: Mutex<StrategyCache>,
+    strategy_hits: AtomicU64,
+    strategy_misses: AtomicU64,
+    layer_hits: AtomicU64,
+    layer_misses: AtomicU64,
+}
+
+impl EvalEngine {
+    /// Default bound on the strategy → report cache. Converged searches
+    /// cycle through a handful of configurations; 512 comfortably covers a
+    /// 300-episode search while bounding memory on exhaustive enumerations.
+    pub const DEFAULT_STRATEGY_CAPACITY: usize = 512;
+
+    /// Engine for `model` on an accelerator configured by `cfg`.
+    pub fn new(model: Model, cfg: AccelConfig) -> Self {
+        Self::with_strategy_capacity(model, cfg, Self::DEFAULT_STRATEGY_CAPACITY)
+    }
+
+    /// Engine with a custom strategy-cache bound (0 disables that layer of
+    /// caching; the per-(layer, shape) memo is always on).
+    pub fn with_strategy_capacity(model: Model, cfg: AccelConfig, capacity: usize) -> Self {
+        EvalEngine {
+            model,
+            cfg,
+            layers: Mutex::new(HashMap::new()),
+            strategies: Mutex::new(StrategyCache {
+                capacity,
+                ..StrategyCache::default()
+            }),
+            strategy_hits: AtomicU64::new(0),
+            strategy_misses: AtomicU64::new(0),
+            layer_hits: AtomicU64::new(0),
+            layer_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The model this engine evaluates.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The accelerator configuration this engine evaluates against.
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// Evaluate `strategy`, serving repeats from the strategy cache.
+    /// Bit-identical to `evaluate(model, strategy, cfg)`.
+    pub fn evaluate(&self, strategy: &[XbarShape]) -> EvalReport {
+        if let Some(hit) = self.strategies.lock().get(strategy) {
+            self.strategy_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.strategy_misses.fetch_add(1, Ordering::Relaxed);
+        let report = self.compose(strategy);
+        let mut cache = self.strategies.lock();
+        cache.insert(strategy.to_vec(), report.clone());
+        report
+    }
+
+    /// Evaluate `strategy` through the per-(layer, shape) memo only,
+    /// bypassing the strategy cache — for enumerations (exhaustive,
+    /// homogeneous sweeps) that never revisit a strategy and should not
+    /// churn the bounded cache.
+    pub fn evaluate_fresh(&self, strategy: &[XbarShape]) -> EvalReport {
+        self.compose(strategy)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            strategy_hits: self.strategy_hits.load(Ordering::Relaxed),
+            strategy_misses: self.strategy_misses.load(Ordering::Relaxed),
+            layer_hits: self.layer_hits.load(Ordering::Relaxed),
+            layer_misses: self.layer_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached entries (counters are kept).
+    pub fn clear(&self) {
+        self.layers.lock().clear();
+        let mut s = self.strategies.lock();
+        s.map.clear();
+        s.order.clear();
+    }
+
+    fn slice(&self, position: usize, shape: XbarShape) -> LayerSlice {
+        let key = (position, shape);
+        if let Some(s) = self.layers.lock().get(&key) {
+            self.layer_hits.fetch_add(1, Ordering::Relaxed);
+            return *s;
+        }
+        self.layer_misses.fetch_add(1, Ordering::Relaxed);
+        let layer = &self.model.layers[position];
+        debug_assert_eq!(layer.index, position);
+        let placement = placement_for(layer, shape, self.cfg.pes_per_tile);
+        let s = LayerSlice {
+            cost: layer_cost(layer, &placement.footprint, &self.cfg.cost),
+            placement,
+        };
+        self.layers.lock().insert(key, s);
+        s
+    }
+
+    fn compose(&self, strategy: &[XbarShape]) -> EvalReport {
+        assert_eq!(
+            strategy.len(),
+            self.model.layers.len(),
+            "strategy length must match layer count"
+        );
+        let mut per_layer = Vec::with_capacity(strategy.len());
+        let mut costs = Vec::with_capacity(strategy.len());
+        for (position, &shape) in strategy.iter().enumerate() {
+            let s = self.slice(position, shape);
+            per_layer.push(s.placement);
+            costs.push(s.cost);
+        }
+        let mut alloc = allocation_from_placements(per_layer, self.cfg.pes_per_tile);
+        let sharing = self.cfg.tile_shared.then(|| apply_tile_sharing(&mut alloc));
+        compose_report(&self.model, &alloc, sharing, &self.cfg, &costs)
+    }
+}
+
+impl Clone for EvalEngine {
+    /// Deep clone: the new engine starts with a copy of the current cache
+    /// contents and counter values, then diverges independently.
+    fn clone(&self) -> Self {
+        EvalEngine {
+            model: self.model.clone(),
+            cfg: self.cfg,
+            layers: Mutex::new(self.layers.lock().clone()),
+            strategies: Mutex::new(self.strategies.lock().clone()),
+            strategy_hits: AtomicU64::new(self.strategy_hits.load(Ordering::Relaxed)),
+            strategy_misses: AtomicU64::new(self.strategy_misses.load(Ordering::Relaxed)),
+            layer_hits: AtomicU64::new(self.layer_hits.load(Ordering::Relaxed)),
+            layer_misses: AtomicU64::new(self.layer_misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use autohet_dnn::zoo;
+    use autohet_xbar::geometry::paper_hybrid_candidates;
+
+    fn rotating_strategy(model: &Model, offset: usize) -> Vec<XbarShape> {
+        let cands = paper_hybrid_candidates();
+        (0..model.layers.len())
+            .map(|i| cands[(i + offset) % cands.len()])
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_direct_evaluate_across_configs() {
+        let m = zoo::alexnet();
+        for cfg in [
+            AccelConfig::default(),
+            AccelConfig::default().with_tile_sharing(),
+            AccelConfig::default().with_noc(),
+            AccelConfig::default().with_tile_sharing().with_noc(),
+            AccelConfig::default().with_pes_per_tile(16),
+        ] {
+            let engine = EvalEngine::new(m.clone(), cfg);
+            for offset in 0..3 {
+                let s = rotating_strategy(&m, offset);
+                let direct = evaluate(&m, &s, &cfg);
+                assert_eq!(engine.evaluate(&s), direct);
+                // Second pass: strategy-cache hit, still identical.
+                assert_eq!(engine.evaluate(&s), direct);
+                assert_eq!(engine.evaluate_fresh(&s), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_memo_is_bounded_by_distinct_pairs() {
+        let m = zoo::vgg16();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default());
+        let cands = paper_hybrid_candidates();
+        for offset in 0..20 {
+            engine.evaluate_fresh(&rotating_strategy(&m, offset));
+        }
+        let stats = engine.stats();
+        let pairs = (m.layers.len() * cands.len()) as u64;
+        assert!(stats.layer_misses <= pairs, "{} > {pairs}", stats.layer_misses);
+        assert!(stats.layer_hits > 0);
+        let lookups = 20 * m.layers.len() as u64;
+        assert_eq!(stats.layer_hits + stats.layer_misses, lookups);
+    }
+
+    #[test]
+    fn strategy_cache_hits_and_counts() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default());
+        let s = rotating_strategy(&m, 0);
+        engine.evaluate(&s);
+        engine.evaluate(&s);
+        engine.evaluate(&s);
+        let stats = engine.stats();
+        assert_eq!(stats.strategy_misses, 1);
+        assert_eq!(stats.strategy_hits, 2);
+        assert!((stats.strategy_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.full_evaluations(), 1);
+    }
+
+    #[test]
+    fn strategy_cache_evicts_in_insertion_order() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::with_strategy_capacity(m.clone(), AccelConfig::default(), 2);
+        let a = rotating_strategy(&m, 0);
+        let b = rotating_strategy(&m, 1);
+        let c = rotating_strategy(&m, 2);
+        engine.evaluate(&a);
+        engine.evaluate(&b);
+        engine.evaluate(&c); // evicts a
+        engine.evaluate(&b); // hit
+        engine.evaluate(&a); // miss again (was evicted), evicts b
+        let stats = engine.stats();
+        assert_eq!(stats.strategy_misses, 4);
+        assert_eq!(stats.strategy_hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_strategy_caching() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::with_strategy_capacity(m.clone(), AccelConfig::default(), 0);
+        let s = rotating_strategy(&m, 0);
+        let direct = evaluate(&m, &s, &AccelConfig::default());
+        assert_eq!(engine.evaluate(&s), direct);
+        assert_eq!(engine.evaluate(&s), direct);
+        assert_eq!(engine.stats().strategy_hits, 0);
+        assert_eq!(engine.stats().strategy_misses, 2);
+    }
+
+    #[test]
+    fn clear_drops_caches_but_stays_correct() {
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let engine = EvalEngine::new(m.clone(), cfg);
+        let s = rotating_strategy(&m, 1);
+        let before = engine.evaluate(&s);
+        engine.clear();
+        assert_eq!(engine.evaluate(&s), before);
+    }
+
+    #[test]
+    fn cloned_engine_diverges_independently() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default());
+        engine.evaluate(&rotating_strategy(&m, 0));
+        let fork = engine.clone();
+        assert_eq!(fork.stats(), engine.stats());
+        fork.evaluate(&rotating_strategy(&m, 0)); // hit from copied cache
+        assert_eq!(fork.stats().strategy_hits, engine.stats().strategy_hits + 1);
+    }
+
+    #[test]
+    fn shared_engine_is_consistent_across_threads() {
+        let m = zoo::alexnet();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let engine = EvalEngine::new(m.clone(), cfg);
+        let expected: Vec<EvalReport> = (0..8)
+            .map(|o| evaluate(&m, &rotating_strategy(&m, o), &cfg))
+            .collect();
+        let mut got: Vec<Option<EvalReport>> = vec![None; 8];
+        crossbeam::thread::scope(|sc| {
+            for (o, slot) in got.iter_mut().enumerate() {
+                let engine = &engine;
+                let m = &m;
+                sc.spawn(move |_| {
+                    *slot = Some(engine.evaluate(&rotating_strategy(m, o)));
+                });
+            }
+        })
+        .expect("evaluation worker panicked");
+        for (g, e) in got.into_iter().zip(expected) {
+            assert_eq!(g.unwrap(), e);
+        }
+    }
+}

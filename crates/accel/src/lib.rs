@@ -16,11 +16,15 @@
 //!   combination that remaps multiple layers into shared tiles.
 //! - [`metrics`]: whole-model evaluation: utilization, itemized energy,
 //!   latency, area, and the paper's RUE metric.
+//! - [`engine`]: memoized evaluation — per-(layer, shape) cost slices and
+//!   a bounded strategy cache that make repeated search feedback cheap
+//!   while staying bit-identical to [`metrics::evaluate`].
 //! - [`controller`]: the global controller — programs weights into
 //!   functional crossbars and runs *numerical* inference through them.
 
 pub mod alloc;
 pub mod controller;
+pub mod engine;
 pub mod hierarchy;
 pub mod mapping;
 pub mod metrics;
@@ -28,8 +32,9 @@ pub mod noc;
 pub mod pipeline;
 pub mod tile_shared;
 
-pub use alloc::{allocate_tile_based, Allocation, LayerPlacement};
+pub use alloc::{allocate_tile_based, allocation_from_placements, Allocation, LayerPlacement};
 pub use controller::{MappedLayer, MappedModel};
+pub use engine::{EngineStats, EvalEngine};
 pub use hierarchy::{AccelConfig, Tile};
-pub use metrics::{evaluate, EvalReport, LayerReport};
+pub use metrics::{evaluate, EvalReport, LayerCost, LayerReport};
 pub use tile_shared::apply_tile_sharing;

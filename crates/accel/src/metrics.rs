@@ -15,10 +15,11 @@
 use crate::alloc::{allocate_tile_based, Allocation, LayerPlacement};
 use crate::hierarchy::AccelConfig;
 use crate::tile_shared::{apply_tile_sharing, SharingReport};
-use autohet_dnn::Model;
+use autohet_dnn::{Layer, Model};
 use autohet_xbar::energy::{layer_energy, static_power, LayerEnergy};
 use autohet_xbar::latency::layer_latency_ns;
-use autohet_xbar::{area, XbarShape};
+use autohet_xbar::utilization::Footprint;
+use autohet_xbar::{area, CostParams, XbarShape};
 use serde::{Deserialize, Serialize};
 
 /// Per-layer slice of an evaluation.
@@ -104,22 +105,49 @@ pub fn evaluate(model: &Model, strategy: &[XbarShape], cfg: &AccelConfig) -> Eva
     evaluate_allocation(model, &alloc, sharing, cfg)
 }
 
-fn evaluate_allocation(
+/// Per-(layer, shape) cost slice: the quantities that depend only on the
+/// layer and its assigned crossbar shape, independent of the rest of the
+/// strategy — the memoizable core of [`evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCost {
+    /// Latency of one inference through the layer [ns].
+    pub latency_ns: f64,
+    /// Dynamic energy of the layer [nJ] (leakage is charged globally).
+    pub dynamic: LayerEnergy,
+}
+
+/// Compute the cost slice of one layer mapped as `fp`. Pure in
+/// `(layer, fp, p)`, so [`crate::engine::EvalEngine`] caches it per
+/// `(layer, shape)` pair.
+pub fn layer_cost(layer: &Layer, fp: &Footprint, p: &CostParams) -> LayerCost {
+    LayerCost {
+        latency_ns: layer_latency_ns(layer, fp, p),
+        // Leakage handled globally in [`compose_report`]: charge zero
+        // allocation here.
+        dynamic: layer_energy(layer, fp, 0, 0.0, p),
+    }
+}
+
+/// Assemble a full [`EvalReport`] from an allocation plus per-layer cost
+/// slices (`costs` indexed like `alloc.per_layer`). Both the direct
+/// [`evaluate`] path and the memoized [`crate::engine::EvalEngine`] run
+/// through this single aggregation, which accumulates floats in a fixed
+/// order — cached evaluation is therefore bit-identical to uncached by
+/// construction.
+pub(crate) fn compose_report(
     model: &Model,
     alloc: &Allocation,
     sharing: Option<SharingReport>,
     cfg: &AccelConfig,
+    costs: &[LayerCost],
 ) -> EvalReport {
+    debug_assert_eq!(costs.len(), alloc.per_layer.len());
     let p = &cfg.cost;
 
     // Latency first: leakage charges hardware for the whole inference.
-    let mut layers = Vec::with_capacity(model.layers.len());
     let mut latency_ns = 0.0;
-    for pl in &alloc.per_layer {
-        let layer = &model.layers[pl.layer_index];
-        let lat = layer_latency_ns(layer, &pl.footprint, p);
-        latency_ns += lat;
-        layers.push((pl, lat));
+    for c in costs {
+        latency_ns += c.latency_ns;
     }
 
     // Inter-tile traffic (optional): its latency extends the window the
@@ -133,20 +161,17 @@ fn evaluate_allocation(
 
     // Dynamic energy per layer.
     let mut energy = LayerEnergy::default();
-    let mut reports = Vec::with_capacity(layers.len());
-    for (pl, lat) in &layers {
-        let layer = &model.layers[pl.layer_index];
-        // Leakage handled globally below: charge zero allocation here.
-        let e = layer_energy(layer, &pl.footprint, 0, 0.0, p);
-        energy.accumulate(&e);
+    let mut reports = Vec::with_capacity(costs.len());
+    for (pl, c) in alloc.per_layer.iter().zip(costs) {
+        energy.accumulate(&c.dynamic);
         reports.push(LayerReport {
             layer_index: pl.layer_index,
             shape: pl.shape,
             occupied_xbars: pl.footprint.total_xbars(),
             tiles: pl.tiles,
             mapping_utilization: pl.footprint.utilization(),
-            latency_ns: *lat,
-            dynamic_nj: e.total(),
+            latency_ns: c.latency_ns,
+            dynamic_nj: c.dynamic.total(),
         });
     }
 
@@ -185,6 +210,20 @@ fn evaluate_allocation(
         area_um2,
         noc,
     }
+}
+
+fn evaluate_allocation(
+    model: &Model,
+    alloc: &Allocation,
+    sharing: Option<SharingReport>,
+    cfg: &AccelConfig,
+) -> EvalReport {
+    let costs: Vec<LayerCost> = alloc
+        .per_layer
+        .iter()
+        .map(|pl| layer_cost(&model.layers[pl.layer_index], &pl.footprint, &cfg.cost))
+        .collect();
+    compose_report(model, alloc, sharing, cfg, &costs)
 }
 
 /// Convenience: evaluate a homogeneous accelerator (every layer on the

@@ -12,13 +12,14 @@
 //! predecessor's strategy and keeps the max — the RL agent must only ever
 //! improve on it, mirroring the paper's monotone Fig. 10.
 
-use crate::homogeneous::best_homogeneous;
-use crate::search::rl::{rl_search, RlSearchConfig, SearchOutcome};
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use crate::homogeneous::best_homogeneous_with_engine;
+use crate::search::rl::{rl_search_with_engine, RlSearchConfig, SearchOutcome};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::geometry::{paper_hybrid_candidates, SQUARE_CANDIDATES};
 use autohet_xbar::XbarShape;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Ablation stages, in cumulative order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -54,12 +55,16 @@ pub struct AblationResult {
 }
 
 /// Run the full ablation. `scfg.ddpg.seed` seeds every stage's search.
+/// Base, +He, and +Hy all evaluate against the plain accelerator, so they
+/// share one memoized engine; All gets its own tile-shared engine.
 pub fn run_ablation(model: &Model, scfg: &RlSearchConfig) -> Vec<AblationResult> {
     let plain = AccelConfig::default();
     let shared = AccelConfig::default().with_tile_sharing();
+    let plain_engine = Arc::new(EvalEngine::new(model.clone(), plain));
+    let shared_engine = Arc::new(EvalEngine::new(model.clone(), shared));
 
     // Base.
-    let (base_shape, base_report) = best_homogeneous(model, &plain);
+    let (base_shape, base_report) = best_homogeneous_with_engine(&plain_engine);
     let base_strategy = vec![base_shape; model.layers.len()];
     let mut results = vec![AblationResult {
         stage: AblationStage::Base,
@@ -74,6 +79,7 @@ pub fn run_ablation(model: &Model, scfg: &RlSearchConfig) -> Vec<AblationResult>
         &plain,
         scfg,
         &results[0].strategy,
+        &plain_engine,
     );
     results.push(AblationResult {
         stage: AblationStage::He,
@@ -88,6 +94,7 @@ pub fn run_ablation(model: &Model, scfg: &RlSearchConfig) -> Vec<AblationResult>
         &plain,
         scfg,
         &results[1].strategy,
+        &plain_engine,
     );
     results.push(AblationResult {
         stage: AblationStage::Hy,
@@ -103,6 +110,7 @@ pub fn run_ablation(model: &Model, scfg: &RlSearchConfig) -> Vec<AblationResult>
         &shared,
         scfg,
         &results[2].strategy,
+        &shared_engine,
     );
     results.push(AblationResult {
         stage: AblationStage::All,
@@ -121,12 +129,14 @@ fn search_with_floor(
     cfg: &AccelConfig,
     scfg: &RlSearchConfig,
     incumbent: &[XbarShape],
+    engine: &Arc<EvalEngine>,
 ) -> (Vec<XbarShape>, EvalReport) {
-    let outcome: SearchOutcome = rl_search(model, candidates, cfg, scfg);
+    let outcome: SearchOutcome =
+        rl_search_with_engine(model, candidates, cfg, scfg, Arc::clone(engine));
     // The incumbent may use shapes outside this stage's candidate list
     // only when moving from He → Hy; it is still a valid configuration of
     // the stage's accelerator, so comparing is fair.
-    let floor = evaluate(model, incumbent, cfg);
+    let floor = engine.evaluate(incumbent);
     if floor.rue() > outcome.best_report.rue() {
         (incumbent.to_vec(), floor)
     } else {

@@ -8,9 +8,10 @@
 //! the accelerator's utilization/energy ratio for the full configuration
 //! (the paper feeds the same terminal reward back to every step, Eq. 3).
 
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
-use autohet_dnn::{Model};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
+use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
+use std::sync::Arc;
 
 /// The search environment for one model + candidate set.
 #[derive(Debug, Clone)]
@@ -18,6 +19,11 @@ pub struct AutoHetEnv {
     model: Model,
     candidates: Vec<XbarShape>,
     cfg: AccelConfig,
+    /// Memoized evaluator; `Arc` so several searches (e.g. multi-seed
+    /// workers or ablation stages with a common config) can share one
+    /// memo table. Cached results are bit-identical to direct
+    /// `evaluate()`, so sharing never changes any outcome.
+    engine: Arc<EvalEngine>,
     maxima: Maxima,
     /// Reward normalizer: raw RUE is divided by this so rewards sit in a
     /// well-conditioned O(1) range. The paper uses raw `u/e` (tiny but
@@ -53,7 +59,35 @@ impl AutoHetEnv {
         cfg: AccelConfig,
         weights: (f64, f64),
     ) -> Self {
+        Self::with_shared_engine(
+            model,
+            candidates,
+            cfg,
+            weights,
+            Arc::new(EvalEngine::new(model.clone(), cfg)),
+        )
+    }
+
+    /// Build on an existing (possibly shared) evaluation engine. The
+    /// engine must have been constructed for the same model and config.
+    pub fn with_shared_engine(
+        model: &Model,
+        candidates: &[XbarShape],
+        cfg: AccelConfig,
+        weights: (f64, f64),
+        engine: Arc<EvalEngine>,
+    ) -> Self {
         assert!(!candidates.is_empty());
+        assert_eq!(
+            engine.model().layers.len(),
+            model.layers.len(),
+            "engine must be built for the searched model"
+        );
+        assert_eq!(
+            *engine.config(),
+            cfg,
+            "engine must be built for the same accelerator config"
+        );
         let fm = model.feature_maxima();
         let maxima = Maxima {
             inc: fm.in_channels as f64,
@@ -68,6 +102,7 @@ impl AutoHetEnv {
             model: model.clone(),
             candidates: candidates.to_vec(),
             cfg,
+            engine,
             maxima,
             reward_scale: 1.0,
             weights,
@@ -145,9 +180,15 @@ impl AutoHetEnv {
         autohet_xbar::utilization::utilization(&self.model.layers[k], self.action_to_shape(action))
     }
 
-    /// Full hardware feedback for a complete strategy.
+    /// Full hardware feedback for a complete strategy, served through the
+    /// memoized engine (bit-identical to direct `evaluate()`).
     pub fn evaluate_strategy(&self, strategy: &[XbarShape]) -> EvalReport {
-        evaluate(&self.model, strategy, &self.cfg)
+        self.engine.evaluate(strategy)
+    }
+
+    /// The memoized evaluation engine backing this environment.
+    pub fn engine(&self) -> &Arc<EvalEngine> {
+        &self.engine
     }
 
     /// Episode reward (Eq. 2 at the default `(1,1)` weights: `R = u / e`,
@@ -239,6 +280,18 @@ mod tests {
         assert_eq!(strategy.len(), 4);
         assert_eq!(strategy[0], e.candidates()[0]);
         assert_eq!(strategy[3], *e.candidates().last().unwrap());
+    }
+
+    #[test]
+    fn evaluate_strategy_matches_direct_evaluate_and_caches() {
+        let e = env();
+        let strategy = vec![e.candidates()[0]; e.num_layers()];
+        let direct = autohet_accel::evaluate(e.model(), &strategy, e.accel_config());
+        let before = e.engine().stats();
+        assert_eq!(e.evaluate_strategy(&strategy), direct);
+        assert_eq!(e.evaluate_strategy(&strategy), direct);
+        let delta = e.engine().stats().since(&before);
+        assert!(delta.strategy_hits >= 1, "repeat evaluation should hit the cache");
     }
 
     #[test]

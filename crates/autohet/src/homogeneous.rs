@@ -5,23 +5,39 @@
 //! heterogeneous split of VGG16 (§2.2.1 / Fig. 3: 512×512 for the first
 //! ten layers, 256×256 for the last six).
 
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use autohet_accel::{evaluate, AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::geometry::SQUARE_CANDIDATES;
 use autohet_xbar::XbarShape;
 
-/// Evaluate every homogeneous square baseline.
+/// Evaluate every homogeneous square baseline (one parallel worker per
+/// candidate, ordered like `SQUARE_CANDIDATES`).
 pub fn homogeneous_reports(model: &Model, cfg: &AccelConfig) -> Vec<(XbarShape, EvalReport)> {
-    SQUARE_CANDIDATES
-        .iter()
-        .map(|&s| (s, evaluate(model, &vec![s; model.layers.len()], cfg)))
-        .collect()
+    let engine = EvalEngine::new(model.clone(), *cfg);
+    homogeneous_reports_with_engine(&engine)
+}
+
+/// [`homogeneous_reports`] on an existing engine, warming its memo table
+/// for a subsequent search over the same config.
+pub fn homogeneous_reports_with_engine(engine: &EvalEngine) -> Vec<(XbarShape, EvalReport)> {
+    let n = engine.model().layers.len();
+    crate::par::par_map(SQUARE_CANDIDATES.as_ref(), |&s| {
+        (s, engine.evaluate(&vec![s; n]))
+    })
 }
 
 /// The homogeneous baseline with the highest RUE ("Best-Homo" in §4.4,
 /// "Base" in §4.3).
 pub fn best_homogeneous(model: &Model, cfg: &AccelConfig) -> (XbarShape, EvalReport) {
     homogeneous_reports(model, cfg)
+        .into_iter()
+        .max_by(|a, b| a.1.rue().partial_cmp(&b.1.rue()).unwrap())
+        .expect("at least one baseline")
+}
+
+/// [`best_homogeneous`] on an existing engine.
+pub fn best_homogeneous_with_engine(engine: &EvalEngine) -> (XbarShape, EvalReport) {
+    homogeneous_reports_with_engine(engine)
         .into_iter()
         .max_by(|a, b| a.1.rue().partial_cmp(&b.1.rue()).unwrap())
         .expect("at least one baseline")
@@ -58,6 +74,15 @@ mod tests {
         let reports = homogeneous_reports(&m, &AccelConfig::default());
         assert_eq!(reports.len(), 5);
         assert!(reports.iter().all(|(s, _)| s.is_square()));
+    }
+
+    #[test]
+    fn engine_backed_reports_match_direct_evaluation() {
+        let m = zoo::alexnet();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        for (s, r) in homogeneous_reports(&m, &cfg) {
+            assert_eq!(r, evaluate(&m, &vec![s; m.layers.len()], &cfg));
+        }
     }
 
     #[test]

@@ -31,11 +31,15 @@
 //! - [`ablation`]: the §4.3 Base / +He / +Hy / All study.
 //! - [`sensitivity`]: the §4.4 sweeps (SXB:RXB ratio, candidate count,
 //!   PEs per tile).
+//! - [`par`]: the scoped-thread fan-out behind the parallel sweep
+//!   drivers; every search reuses one memoized
+//!   [`EvalEngine`](autohet_accel::EvalEngine).
 
 pub mod ablation;
 pub mod env;
 pub mod homogeneous;
 pub mod multi_model;
+pub mod par;
 pub mod pareto;
 pub mod persist;
 pub mod search;
@@ -46,14 +50,28 @@ pub mod studies;
 pub mod prelude {
     pub use crate::ablation::{run_ablation, AblationStage};
     pub use crate::env::AutoHetEnv;
-    pub use crate::homogeneous::{best_homogeneous, homogeneous_reports, manual_hetero_vgg16};
-    pub use crate::search::annealing::{annealing_search, AnnealingConfig};
+    pub use crate::homogeneous::{
+        best_homogeneous, best_homogeneous_with_engine, homogeneous_reports,
+        homogeneous_reports_with_engine, manual_hetero_vgg16,
+    };
+    pub use crate::par::par_map;
+    pub use crate::search::annealing::{
+        annealing_search, annealing_search_with_engine, AnnealingConfig,
+    };
     pub use crate::search::dqn::{dqn_search, DqnSearchConfig};
-    pub use crate::search::exhaustive::exhaustive_search;
-    pub use crate::search::greedy::{greedy_layerwise_rue, greedy_utilization};
-    pub use crate::search::random::random_search;
-    pub use crate::search::rl::{rl_search, RlSearchConfig, SearchOutcome};
-    pub use autohet_accel::{evaluate, AccelConfig, EvalReport};
+    pub use crate::search::exhaustive::{
+        exhaustive_search, exhaustive_search_serial, exhaustive_search_with_engine,
+    };
+    pub use crate::search::greedy::{
+        greedy_layerwise_rue, greedy_layerwise_rue_with_engine, greedy_utilization,
+        greedy_utilization_with_engine,
+    };
+    pub use crate::search::random::{random_search, random_search_with_engine};
+    pub use crate::search::rl::{
+        rl_search, rl_search_multi_seed, rl_search_with_engine, RlSearchConfig, SearchOutcome,
+        SearchTiming,
+    };
+    pub use autohet_accel::{evaluate, AccelConfig, EngineStats, EvalEngine, EvalReport};
     pub use autohet_xbar::geometry::{
         all_candidates, mixed_candidates, paper_hybrid_candidates, RECT_CANDIDATES,
         SQUARE_CANDIDATES,

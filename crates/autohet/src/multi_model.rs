@@ -10,10 +10,11 @@
 //! shared hardware, so leakage is charged over the combined runtime.
 
 use crate::homogeneous::best_homogeneous;
-use crate::search::rl::{rl_search, RlSearchConfig};
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
-use autohet_dnn::{Model, Dataset};
+use crate::search::rl::{rl_search_with_engine, RlSearchConfig};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
+use autohet_dnn::{Dataset, Model};
 use autohet_xbar::XbarShape;
+use std::sync::Arc;
 
 /// Concatenate several models into one "super-model" whose layers are the
 /// inputs' layers re-indexed in order. Returns the model plus each input's
@@ -82,8 +83,10 @@ pub fn co_search(
 ) -> CoSearchOutcome {
     let shared = cfg.with_tile_sharing();
     let (joint_model, offsets) = concat_models(models);
+    let engine = Arc::new(EvalEngine::new(joint_model.clone(), shared));
 
-    let outcome = rl_search(&joint_model, candidates, &shared, scfg);
+    let outcome =
+        rl_search_with_engine(&joint_model, candidates, &shared, scfg, Arc::clone(&engine));
 
     // Floor: each model on its own best homogeneous shape, co-located.
     let mut stitched = Vec::with_capacity(joint_model.layers.len());
@@ -91,7 +94,7 @@ pub fn co_search(
         let (shape, _) = best_homogeneous(m, cfg);
         stitched.extend(std::iter::repeat(shape).take(m.layers.len()));
     }
-    let floor = evaluate(&joint_model, &stitched, &shared);
+    let floor = engine.evaluate(&stitched);
 
     let (best_strategy, joint) = if floor.rue() > outcome.best_report.rue() {
         (stitched, floor)
@@ -117,6 +120,7 @@ pub fn demo_pair() -> Vec<Model> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autohet_accel::evaluate;
     use autohet_rl::DdpgConfig;
     use autohet_xbar::geometry::paper_hybrid_candidates;
 

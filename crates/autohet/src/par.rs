@@ -1,0 +1,72 @@
+//! Deterministic fork-join helper for sweep drivers.
+//!
+//! A thin order-preserving `map` over `crossbeam::thread::scope` workers
+//! (the same pattern the accel controller uses for batch inference):
+//! items are split into contiguous chunks, each worker fills its chunk's
+//! output slots, and results come back in input order — so parallel sweeps
+//! return exactly what their serial loops returned.
+
+/// Map `f` over `items` on up to `available_parallelism` scoped workers,
+/// preserving input order. Falls back to a plain serial map for zero or
+/// one item.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel sweep worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map_for_awkward_sizes() {
+        // Sizes around worker-count boundaries exercise chunk remainders.
+        for n in [2usize, 3, 5, 7, 13, 17, 31] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(&items, |&x| x.wrapping_mul(2654435761));
+            let serial: Vec<usize> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+            assert_eq!(out, serial);
+        }
+    }
+}

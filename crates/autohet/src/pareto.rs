@@ -7,10 +7,11 @@
 //! designer would actually choose from: how much energy one extra point
 //! of utilization costs at each operating point.
 
-use crate::search::rl::{rl_search, RlSearchConfig};
-use autohet_accel::{AccelConfig, EvalReport};
+use crate::search::rl::{rl_search_with_engine, RlSearchConfig};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
+use std::sync::Arc;
 
 /// One operating point of the sweep.
 #[derive(Debug, Clone)]
@@ -30,7 +31,9 @@ impl ParetoPoint {
     }
 }
 
-/// Run one RL search per `alpha`, each maximizing `u^α / e`.
+/// Run one RL search per `alpha`, each maximizing `u^α / e` — on parallel
+/// workers sharing one memoized engine (hardware reports don't depend on
+/// the reward weights, so every operating point reuses the same cache).
 pub fn pareto_sweep(
     model: &Model,
     candidates: &[XbarShape],
@@ -38,19 +41,17 @@ pub fn pareto_sweep(
     scfg: &RlSearchConfig,
     alphas: &[f64],
 ) -> Vec<ParetoPoint> {
-    alphas
-        .iter()
-        .map(|&alpha| {
-            let mut s = *scfg;
-            s.reward_weights = (alpha, 1.0);
-            let outcome = rl_search(model, candidates, cfg, &s);
-            ParetoPoint {
-                alpha,
-                strategy: outcome.best_strategy,
-                report: outcome.best_report,
-            }
-        })
-        .collect()
+    let engine = Arc::new(EvalEngine::new(model.clone(), *cfg));
+    crate::par::par_map(alphas, |&alpha| {
+        let mut s = *scfg;
+        s.reward_weights = (alpha, 1.0);
+        let outcome = rl_search_with_engine(model, candidates, cfg, &s, Arc::clone(&engine));
+        ParetoPoint {
+            alpha,
+            strategy: outcome.best_strategy,
+            report: outcome.best_report,
+        }
+    })
 }
 
 /// Indices of the non-dominated points (maximize utilization, minimize

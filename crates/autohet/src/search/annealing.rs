@@ -8,7 +8,7 @@
 //! AutoHet's win comes from *learning* layer features versus merely
 //! *searching* the space.
 
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
 use rand::rngs::SmallRng;
@@ -46,13 +46,25 @@ pub fn annealing_search(
     cfg: &AccelConfig,
     acfg: &AnnealingConfig,
 ) -> (Vec<XbarShape>, EvalReport) {
+    let engine = EvalEngine::new(model.clone(), *cfg);
+    annealing_search_with_engine(&engine, candidates, acfg)
+}
+
+/// [`annealing_search`] on an existing (possibly shared) memoized engine.
+/// The annealer revisits states whenever a rejected mutation is proposed
+/// again, so the engine's strategy cache pays off within a single run.
+pub fn annealing_search_with_engine(
+    engine: &EvalEngine,
+    candidates: &[XbarShape],
+    acfg: &AnnealingConfig,
+) -> (Vec<XbarShape>, EvalReport) {
     assert!(!candidates.is_empty() && acfg.iterations >= 1);
-    let n = model.layers.len();
+    let n = engine.model().layers.len();
     let mut rng = SmallRng::seed_from_u64(acfg.seed ^ 0xA44E);
 
     // Start from the middle candidate applied homogeneously.
     let mut current: Vec<XbarShape> = vec![candidates[candidates.len() / 2]; n];
-    let mut current_report = evaluate(model, &current, cfg);
+    let mut current_report = engine.evaluate(&current);
     let mut best = (current.clone(), current_report.clone());
     let mut temp = acfg.t0;
 
@@ -67,7 +79,7 @@ pub fn annealing_search(
             }
         }
         current[li] = pick;
-        let proposal = evaluate(model, &current, cfg);
+        let proposal = engine.evaluate(&current);
 
         // Relative RUE improvement (positive = better).
         let delta = (proposal.rue() - current_report.rue()) / current_report.rue();
@@ -89,6 +101,7 @@ pub fn annealing_search(
 mod tests {
     use super::*;
     use crate::search::exhaustive::exhaustive_search;
+    use autohet_accel::evaluate;
     use autohet_dnn::zoo;
     use autohet_xbar::geometry::paper_hybrid_candidates;
 

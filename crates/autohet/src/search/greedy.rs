@@ -11,7 +11,7 @@
 //!   paper's own metric, but blind to cross-layer allocation effects,
 //!   which is exactly what the RL search can exploit.
 
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::energy::{layer_energy, static_power};
 use autohet_xbar::latency::layer_latency_ns;
@@ -24,8 +24,18 @@ pub fn greedy_utilization(
     candidates: &[XbarShape],
     cfg: &AccelConfig,
 ) -> (Vec<XbarShape>, EvalReport) {
+    let engine = EvalEngine::new(model.clone(), *cfg);
+    greedy_utilization_with_engine(&engine, candidates)
+}
+
+/// [`greedy_utilization`] on an existing (possibly shared) memoized engine.
+pub fn greedy_utilization_with_engine(
+    engine: &EvalEngine,
+    candidates: &[XbarShape],
+) -> (Vec<XbarShape>, EvalReport) {
     assert!(!candidates.is_empty());
-    let strategy: Vec<XbarShape> = model
+    let strategy: Vec<XbarShape> = engine
+        .model()
         .layers
         .iter()
         .map(|l| {
@@ -41,7 +51,7 @@ pub fn greedy_utilization(
                 .unwrap()
         })
         .collect();
-    let report = evaluate(model, &strategy, cfg);
+    let report = engine.evaluate(&strategy);
     (strategy, report)
 }
 
@@ -51,9 +61,21 @@ pub fn greedy_layerwise_rue(
     candidates: &[XbarShape],
     cfg: &AccelConfig,
 ) -> (Vec<XbarShape>, EvalReport) {
+    let engine = EvalEngine::new(model.clone(), *cfg);
+    greedy_layerwise_rue_with_engine(&engine, candidates)
+}
+
+/// [`greedy_layerwise_rue`] on an existing (possibly shared) memoized
+/// engine.
+pub fn greedy_layerwise_rue_with_engine(
+    engine: &EvalEngine,
+    candidates: &[XbarShape],
+) -> (Vec<XbarShape>, EvalReport) {
     assert!(!candidates.is_empty());
+    let cfg = engine.config();
     let p = &cfg.cost;
-    let strategy: Vec<XbarShape> = model
+    let strategy: Vec<XbarShape> = engine
+        .model()
         .layers
         .iter()
         .map(|l| {
@@ -74,13 +96,14 @@ pub fn greedy_layerwise_rue(
                 .unwrap()
         })
         .collect();
-    let report = evaluate(model, &strategy, cfg);
+    let report = engine.evaluate(&strategy);
     (strategy, report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autohet_accel::evaluate;
     use autohet_dnn::zoo;
     use autohet_xbar::geometry::{paper_hybrid_candidates, SQUARE_CANDIDATES};
 

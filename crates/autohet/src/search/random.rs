@@ -4,7 +4,7 @@
 //! RL agent has to beat this at an equal evaluation budget to demonstrate
 //! it learned anything (the exhaustive oracle bounds both from above).
 
-use autohet_accel::{evaluate, AccelConfig, EvalReport};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
 use rand::rngs::SmallRng;
@@ -18,14 +18,26 @@ pub fn random_search(
     samples: usize,
     seed: u64,
 ) -> (Vec<XbarShape>, EvalReport) {
+    let engine = EvalEngine::new(model.clone(), *cfg);
+    random_search_with_engine(&engine, candidates, samples, seed)
+}
+
+/// [`random_search`] on an existing (possibly shared) memoized engine.
+pub fn random_search_with_engine(
+    engine: &EvalEngine,
+    candidates: &[XbarShape],
+    samples: usize,
+    seed: u64,
+) -> (Vec<XbarShape>, EvalReport) {
     assert!(samples >= 1 && !candidates.is_empty());
+    let n = engine.model().layers.len();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
     let mut best: Option<(Vec<XbarShape>, EvalReport)> = None;
     for _ in 0..samples {
-        let strategy: Vec<XbarShape> = (0..model.layers.len())
+        let strategy: Vec<XbarShape> = (0..n)
             .map(|_| candidates[rng.gen_range(0..candidates.len())])
             .collect();
-        let report = evaluate(model, &strategy, cfg);
+        let report = engine.evaluate_fresh(&strategy);
         if best.as_ref().map_or(true, |(_, b)| report.rue() > b.rue()) {
             best = Some((strategy, report));
         }

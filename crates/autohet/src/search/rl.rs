@@ -13,13 +13,14 @@
 //! ~97% of search time is simulator feedback (§4.5).
 
 use crate::env::AutoHetEnv;
-use autohet_accel::{AccelConfig, EvalReport};
+use autohet_accel::{AccelConfig, EngineStats, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_rl::{Ddpg, DdpgConfig, Experience, OuNoise};
 use autohet_xbar::XbarShape;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Search hyperparameters.
@@ -86,6 +87,10 @@ pub struct SearchTiming {
     pub simulator: Duration,
     /// Time inside the agent (forward passes and training).
     pub agent: Duration,
+    /// Evaluation-cache counters accumulated over this search (when the
+    /// engine is shared across concurrent searches, counts include every
+    /// user active during this search's window).
+    pub cache: EngineStats,
 }
 
 impl SearchTiming {
@@ -166,8 +171,30 @@ pub fn rl_search(
     cfg: &AccelConfig,
     scfg: &RlSearchConfig,
 ) -> SearchOutcome {
+    rl_search_with_engine(
+        model,
+        candidates,
+        cfg,
+        scfg,
+        Arc::new(EvalEngine::new(model.clone(), *cfg)),
+    )
+}
+
+/// [`rl_search`] on an existing (possibly shared) evaluation engine —
+/// multi-seed runs, Pareto sweeps, and ablation stages with a common
+/// config share one memo table this way. Cached feedback is bit-identical
+/// to direct evaluation, so the outcome for a fixed seed is independent of
+/// the engine's prior contents.
+pub fn rl_search_with_engine(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    engine: Arc<EvalEngine>,
+) -> SearchOutcome {
     let t0 = Instant::now();
-    let env = AutoHetEnv::with_weights(model, candidates, *cfg, scfg.reward_weights);
+    let stats0 = engine.stats();
+    let env = AutoHetEnv::with_shared_engine(model, candidates, *cfg, scfg.reward_weights, engine);
     let n = env.num_layers();
     let mut agent = Ddpg::new(DdpgConfig {
         state_dim: 10,
@@ -178,6 +205,7 @@ pub fn rl_search(
     let mut warmup_rng = SmallRng::seed_from_u64(scfg.ddpg.seed ^ 0x3A90);
 
     let mut best: Option<(Vec<XbarShape>, EvalReport)> = None;
+    let mut best_reward = f64::NEG_INFINITY;
     let mut history = Vec::with_capacity(scfg.episodes);
     let mut timing = SearchTiming::default();
 
@@ -218,11 +246,11 @@ pub fn rl_search(
             energy_nj: report.energy_nj(),
         });
         // Track the best configuration by the (possibly weighted) search
-        // objective; at the default weights this is exactly best-RUE.
-        if best
-            .as_ref()
-            .map_or(true, |(_, b)| env.reward(&report) > env.reward(b))
-        {
+        // objective; at the default weights this is exactly best-RUE. The
+        // episode reward is computed once and the incumbent's is kept as a
+        // scalar, so no episode re-scores stored reports.
+        if reward > best_reward {
+            best_reward = reward;
             best = Some((strategy, report));
         }
 
@@ -245,6 +273,7 @@ pub fn rl_search(
     }
 
     timing.total = t0.elapsed();
+    timing.cache = env.engine().stats().since(&stats0);
     let (best_strategy, best_report) = best.expect("episodes >= 1");
     SearchOutcome {
         best_strategy,
@@ -252,6 +281,26 @@ pub fn rl_search(
         history,
         timing,
     }
+}
+
+/// Run one [`rl_search`] per seed on parallel workers sharing a single
+/// memoized engine; outcomes come back in seed order. Each worker's result
+/// is bit-identical to a standalone `rl_search` with that seed (the shared
+/// cache only changes speed, never values).
+pub fn rl_search_multi_seed(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    seeds: &[u64],
+) -> Vec<SearchOutcome> {
+    assert!(!seeds.is_empty());
+    let engine = Arc::new(EvalEngine::new(model.clone(), *cfg));
+    crate::par::par_map(seeds, |&seed| {
+        let mut s = *scfg;
+        s.ddpg.seed = seed;
+        rl_search_with_engine(model, candidates, cfg, &s, Arc::clone(&engine))
+    })
 }
 
 #[cfg(test)]
@@ -338,5 +387,71 @@ mod tests {
         assert!(outcome.timing.total.as_nanos() > 0);
         let f = outcome.timing.simulator_fraction();
         assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn warm_cache_avoids_recomputing_layer_slices() {
+        // The tentpole's measurable claim: a 60-episode search touches
+        // 60 × L layer slices, but only L × C distinct (layer, shape)
+        // pairs exist — everything past the first visit is a cache hit.
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let outcome = rl_search(&m, &cands, &cfg, &quick_cfg(1, 60));
+        let cache = outcome.timing.cache;
+        assert!(cache.layer_hits > 0, "no cache hits recorded");
+        let pairs = (m.layers.len() * cands.len()) as u64;
+        assert!(
+            cache.layer_misses <= pairs,
+            "layer misses {} exceed the {pairs} distinct (layer, shape) pairs",
+            cache.layer_misses
+        );
+        let episodes_times_layers = (60 * m.layers.len()) as u64;
+        assert!(
+            cache.layer_misses < episodes_times_layers,
+            "warm cache must compute fewer slices than episodes × layers"
+        );
+        assert!((0.0..=1.0).contains(&cache.layer_hit_rate()));
+        assert!((0.0..=1.0).contains(&cache.strategy_hit_rate()));
+        // Every full composition corresponds to a strategy-cache miss.
+        assert!(cache.full_evaluations() <= 60 + 1); // episodes + reward reference
+    }
+
+    #[test]
+    fn shared_engine_does_not_change_the_outcome() {
+        // Warm engine vs cold engine: cached feedback is bit-identical,
+        // so the search trajectory cannot depend on cache state.
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        let cold = rl_search(&m, &cands, &cfg, &quick_cfg(5, 12));
+        let engine = Arc::new(EvalEngine::new(m.clone(), cfg));
+        // Pre-warm with unrelated evaluations.
+        for (i, &c) in cands.iter().enumerate() {
+            let mut s = vec![cands[0]; m.layers.len()];
+            s[i % m.layers.len()] = c;
+            engine.evaluate(&s);
+        }
+        let warm = rl_search_with_engine(&m, &cands, &cfg, &quick_cfg(5, 12), engine);
+        assert_eq!(cold.best_strategy, warm.best_strategy);
+        assert_eq!(cold.best_report, warm.best_report);
+        let ra: Vec<f64> = cold.history.iter().map(|h| h.rue).collect();
+        let rb: Vec<f64> = warm.history.iter().map(|h| h.rue).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn multi_seed_matches_individual_searches() {
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        let outcomes = rl_search_multi_seed(&m, &cands, &cfg, &quick_cfg(0, 10), &[5, 9]);
+        assert_eq!(outcomes.len(), 2);
+        let a = rl_search(&m, &cands, &cfg, &quick_cfg(5, 10));
+        let b = rl_search(&m, &cands, &cfg, &quick_cfg(9, 10));
+        assert_eq!(outcomes[0].best_strategy, a.best_strategy);
+        assert_eq!(outcomes[1].best_strategy, b.best_strategy);
+        assert_eq!(outcomes[0].best_report, a.best_report);
+        assert_eq!(outcomes[1].best_report, b.best_report);
     }
 }

@@ -52,56 +52,52 @@ fn autohet_point(
     }
 }
 
+/// Run independent sweep points on parallel workers (each point is an RL
+/// search plus a Best-Homo baseline), preserving spec order.
+fn sweep_points(
+    model: &Model,
+    scfg: &RlSearchConfig,
+    specs: Vec<(String, Vec<XbarShape>, AccelConfig)>,
+) -> Vec<SweepPoint> {
+    crate::par::par_map(&specs, |(label, candidates, cfg)| {
+        autohet_point(label.clone(), model, candidates.clone(), cfg, scfg)
+    })
+}
+
 /// Fig. 11(a): vary the SXB:RXB candidate mix at five total candidates.
 pub fn sweep_sxb_rxb_ratio(model: &Model, scfg: &RlSearchConfig) -> Vec<SweepPoint> {
     let cfg = AccelConfig::default();
-    [(2usize, 3usize), (3, 2), (4, 1)]
+    let specs = [(2usize, 3usize), (3, 2), (4, 1)]
         .into_iter()
-        .map(|(s, r)| {
-            autohet_point(
-                format!("{s}S{r}R"),
-                model,
-                mixed_candidates(s, r),
-                &cfg,
-                scfg,
-            )
-        })
-        .collect()
+        .map(|(s, r)| (format!("{s}S{r}R"), mixed_candidates(s, r), cfg))
+        .collect();
+    sweep_points(model, scfg, specs)
 }
 
 /// Fig. 11(b): vary the total number of candidates (even SXB/RXB split).
 pub fn sweep_candidate_count(model: &Model, scfg: &RlSearchConfig) -> Vec<SweepPoint> {
     let cfg = AccelConfig::default();
-    [2usize, 4, 8]
+    let specs = [2usize, 4, 8]
         .into_iter()
-        .map(|n| {
-            autohet_point(
-                format!("{n}"),
-                model,
-                mixed_candidates(n / 2, n - n / 2),
-                &cfg,
-                scfg,
-            )
-        })
-        .collect()
+        .map(|n| (format!("{n}"), mixed_candidates(n / 2, n - n / 2), cfg))
+        .collect();
+    sweep_points(model, scfg, specs)
 }
 
 /// Fig. 11(c): vary PEs per tile; both AutoHet and Best-Homo are
 /// re-evaluated at each tile width.
 pub fn sweep_pes_per_tile(model: &Model, scfg: &RlSearchConfig) -> Vec<SweepPoint> {
-    [8u32, 16, 32]
+    let specs = [8u32, 16, 32]
         .into_iter()
         .map(|pes| {
-            let cfg = AccelConfig::default().with_pes_per_tile(pes);
-            autohet_point(
+            (
                 format!("PEs={pes}"),
-                model,
                 autohet_xbar::geometry::paper_hybrid_candidates(),
-                &cfg,
-                scfg,
+                AccelConfig::default().with_pes_per_tile(pes),
             )
         })
-        .collect()
+        .collect();
+    sweep_points(model, scfg, specs)
 }
 
 #[cfg(test)]

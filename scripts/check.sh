@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails fastest
+# after the expensive build artifacts exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace -- -D warnings

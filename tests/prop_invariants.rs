@@ -136,6 +136,41 @@ proptest! {
     }
 
     #[test]
+    fn eval_engine_is_bit_identical_to_direct_evaluate(
+        idx in prop::collection::vec(0usize..10, 1..12),
+        shared in any::<bool>(),
+        noc in any::<bool>(),
+        cap in prop::sample::select(vec![2u32, 4, 8])
+    ) {
+        // The memoized engine must reproduce `evaluate` *exactly* — same
+        // float accumulation order, so bit-identical reports — whether the
+        // answer comes from a cold compose, the layer memo, or the
+        // strategy cache, and across tile sharing / NoC / tile width.
+        let pool = all_candidates();
+        let strategy: Vec<XbarShape> = idx.iter().map(|&i| pool[i]).collect();
+        let mut b = ModelBuilder::new("p", Dataset::Cifar10);
+        for i in 0..strategy.len() {
+            b = b.conv(8 * (i % 4 + 1), 3);
+        }
+        let model = b.build();
+        let mut cfg = AccelConfig::default().with_pes_per_tile(cap);
+        if shared {
+            cfg = cfg.with_tile_sharing();
+        }
+        if noc {
+            cfg = cfg.with_noc();
+        }
+        let direct = evaluate(&model, &strategy, &cfg);
+        let engine = EvalEngine::new(model, cfg);
+        // Cold layer memo, no strategy cache involved.
+        prop_assert_eq!(engine.evaluate_fresh(&strategy), direct.clone());
+        // Warm layer memo, strategy-cache miss then hit.
+        prop_assert_eq!(engine.evaluate(&strategy), direct.clone());
+        prop_assert_eq!(engine.evaluate(&strategy), direct);
+        prop_assert!(engine.stats().strategy_hits >= 1);
+    }
+
+    #[test]
     fn eval_report_metrics_are_finite_and_positive(
         sides in prop::collection::vec(prop::sample::select(vec![32u32, 64, 256]), 1..4)
     ) {
