@@ -37,4 +37,7 @@ pub use controller::{MappedLayer, MappedModel};
 pub use engine::{EngineStats, EvalEngine};
 pub use hierarchy::{AccelConfig, Tile};
 pub use metrics::{evaluate, EvalReport, LayerCost, LayerReport};
+pub use pipeline::{
+    balance_replication, pipeline_report, replicated_stages, PipelineReport, ReplicationPlan,
+};
 pub use tile_shared::apply_tile_sharing;

@@ -40,6 +40,15 @@ impl PipelineReport {
         self.fill_ns + (n as f64 - 1.0) * self.bottleneck_ns
     }
 
+    /// Integer batch service time for discrete-event serving [ns].
+    ///
+    /// Rounds [`Self::batch_latency_ns`] up to a whole nanosecond and
+    /// floors it at 1 ns so event timestamps in downstream simulators
+    /// stay strictly increasing per replica.
+    pub fn batch_service_ns(&self, n: usize) -> u64 {
+        (self.batch_latency_ns(n).ceil() as u64).max(1)
+    }
+
     /// Steady-state throughput [samples per second].
     pub fn throughput_sps(&self) -> f64 {
         1e9 / self.bottleneck_ns
@@ -163,6 +172,25 @@ mod tests {
         let d2 = r.batch_latency_ns(3) - r.batch_latency_ns(2);
         assert!((d1 - d2).abs() < 1e-6);
         assert!((d1 - r.bottleneck_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_service_rounds_up_and_stays_positive() {
+        let (_, _, r) = vgg_report();
+        for n in [1usize, 2, 7, 64] {
+            let svc = r.batch_service_ns(n);
+            assert!(svc >= 1);
+            assert!(svc as f64 >= r.batch_latency_ns(n));
+            assert!((svc as f64) < r.batch_latency_ns(n) + 1.0);
+        }
+        // Degenerate sub-nanosecond stages still yield a nonzero tick.
+        let tiny = PipelineReport {
+            stage_ns: vec![0.1],
+            bottleneck_layer: 0,
+            bottleneck_ns: 0.1,
+            fill_ns: 0.1,
+        };
+        assert_eq!(tiny.batch_service_ns(1), 1);
     }
 
     #[test]

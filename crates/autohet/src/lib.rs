@@ -34,6 +34,9 @@
 //! - [`par`]: the scoped-thread fan-out behind the parallel sweep
 //!   drivers; every search reuses one memoized
 //!   [`EvalEngine`](autohet_accel::EvalEngine).
+//! - [`studies`]: beyond-paper ablations, including
+//!   [`studies::serving_study`] — searched strategies behind the
+//!   `autohet-serve` multi-tenant queueing simulator.
 
 pub mod ablation;
 pub mod env;
@@ -72,6 +75,10 @@ pub mod prelude {
         SearchTiming,
     };
     pub use autohet_accel::{evaluate, AccelConfig, EngineStats, EvalEngine, EvalReport};
+    pub use autohet_serve::{
+        run_serving, run_serving_parallel, BurstSpec, Deployment, LatencyHistogram, ServeConfig,
+        ServingReport, TenantSpec, TenantStats, Workload,
+    };
     pub use autohet_xbar::geometry::{
         all_candidates, mixed_candidates, paper_hybrid_candidates, RECT_CANDIDATES,
         SQUARE_CANDIDATES,

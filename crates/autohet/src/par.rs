@@ -26,16 +26,38 @@ where
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let f = &f;
-    crossbeam::thread::scope(|s| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            s.spawn(move |_| {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
+    // Join each worker explicitly so a panic can be attributed to its
+    // chunk (and the original payload preserved) instead of surfacing as
+    // an anonymous scope error.
+    let joined: Vec<Result<(), Box<dyn std::any::Any + Send>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .map(|(slot_chunk, item_chunk)| {
+                s.spawn(move |_| {
+                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                        *slot = Some(f(item));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
     })
-    .expect("parallel sweep worker panicked");
+    .expect("parallel sweep worker pool panicked");
+    for (i, r) in joined.iter().enumerate() {
+        if let Err(payload) = r {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "par_map worker for chunk {i} (items {}..{}) panicked: {msg}",
+                i * chunk,
+                ((i + 1) * chunk).min(items.len())
+            );
+        }
+    }
     out.into_iter()
         .map(|r| r.expect("every slot filled by its worker"))
         .collect()
@@ -53,10 +75,34 @@ mod tests {
     }
 
     #[test]
-    fn handles_empty_and_single() {
+    fn handles_empty_input() {
         let none: Vec<u32> = Vec::new();
         assert!(par_map(&none, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn handles_single_item_without_spawning() {
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 0")]
+    fn worker_panic_reports_originating_chunk() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, |&x| {
+            assert!(x != 0, "poisoned item");
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned item")]
+    fn worker_panic_preserves_the_original_message() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, |&x| {
+            assert!(x != 1, "poisoned item");
+            x
+        });
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! Plain text (not JSON) keeps the offline dependency set to the
 //! whitelisted crates and makes strategies diffable in code review.
 
+use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
 use std::fmt::Write as _;
 use std::fs;
@@ -96,8 +97,14 @@ pub fn strategy_from_str(text: &str) -> Result<Vec<XbarShape>, ParseError> {
         let (r, c) = shape
             .split_once('x')
             .ok_or_else(|| ParseError::BadLine(line.into()))?;
-        let rows: u32 = r.trim().parse().map_err(|_| ParseError::BadLine(line.into()))?;
-        let cols: u32 = c.trim().parse().map_err(|_| ParseError::BadLine(line.into()))?;
+        let rows: u32 = r
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::BadLine(line.into()))?;
+        let cols: u32 = c
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::BadLine(line.into()))?;
         if rows == 0 || cols == 0 {
             return Err(ParseError::BadLine(line.into()));
         }
@@ -115,6 +122,27 @@ pub fn save_strategy(path: &Path, strategy: &[XbarShape], model_note: &str) -> i
 pub fn load_strategy(path: &Path) -> io::Result<Vec<XbarShape>> {
     let text = fs::read_to_string(path)?;
     strategy_from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Read a strategy from a file and validate it against `model`: the file
+/// must assign exactly one shape per mappable layer. Guards the
+/// search-once/deploy-many workflow against loading a strategy that was
+/// searched for a different network.
+pub fn load_strategy_for(model: &Model, path: &Path) -> io::Result<Vec<XbarShape>> {
+    let strategy = load_strategy(path)?;
+    if strategy.len() != model.layers.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "strategy in {} has {} layers but model '{}' has {}",
+                path.display(),
+                strategy.len(),
+                model.name,
+                model.layers.len()
+            ),
+        ));
+    }
+    Ok(strategy)
 }
 
 #[cfg(test)]
@@ -181,5 +209,49 @@ mod tests {
     fn empty_strategy_round_trips() {
         let text = strategy_to_string(&[], "");
         assert_eq!(strategy_from_str(&text).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn load_strategy_for_accepts_matching_layer_count() {
+        let m = autohet_dnn::zoo::lenet5();
+        let s = vec![XbarShape::new(72, 64); m.layers.len()];
+        let path = std::env::temp_dir().join("autohet_strategy_for_ok.txt");
+        save_strategy(&path, &s, &m.name).unwrap();
+        assert_eq!(load_strategy_for(&m, &path).unwrap(), s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_strategy_for_rejects_wrong_layer_count() {
+        let lenet = autohet_dnn::zoo::lenet5();
+        let alexnet = autohet_dnn::zoo::alexnet();
+        let s = vec![XbarShape::new(72, 64); lenet.layers.len()];
+        let path = std::env::temp_dir().join("autohet_strategy_for_mismatch.txt");
+        save_strategy(&path, &s, &lenet.name).unwrap();
+        let err = load_strategy_for(&alexnet, &path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains(&alexnet.name), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The text format round-trips any strategy, not just the
+            // candidate shapes the search happens to emit.
+            #[test]
+            fn strategy_text_round_trips(
+                dims in prop::collection::vec((1u32..=4096, 1u32..=4096), 0..48),
+                note in prop_oneof![Just(""), Just("VGG16 (16 layers)"), Just("x")],
+            ) {
+                let strategy: Vec<XbarShape> =
+                    dims.iter().map(|&(r, c)| XbarShape::new(r, c)).collect();
+                let text = strategy_to_string(&strategy, note);
+                prop_assert_eq!(strategy_from_str(&text).unwrap(), strategy);
+            }
+        }
     }
 }

@@ -13,11 +13,20 @@
 //! - [`multi_model_sharing_study`]: §3.4 remarks freed tiles can serve
 //!   "other models" — this measures how many tiles joint allocation of
 //!   several DNNs saves over per-model allocation.
+//! - [`serving_study`]: the paper evaluates accelerators one inference at
+//!   a time; this study puts four deployment configurations (homogeneous
+//!   vs. AutoHet strategy × tile-based vs. tile-shared allocation) behind
+//!   the `autohet-serve` queueing simulator under an *identical* request
+//!   stream and compares tail latency, SLO attainment, and energy.
 
+use crate::homogeneous::best_homogeneous;
+use crate::search::greedy::greedy_layerwise_rue;
 use autohet_accel::alloc::allocate_tile_based;
 use autohet_accel::tile_shared::{apply_tile_sharing, share_across_models};
 use autohet_accel::{evaluate, AccelConfig};
 use autohet_dnn::{LayerKind, Model};
+use autohet_serve::{run_serving, Deployment, ServeConfig, TenantSpec, Workload};
+use autohet_xbar::geometry::paper_hybrid_candidates;
 use autohet_xbar::utilization::footprint;
 use autohet_xbar::XbarShape;
 use serde::{Deserialize, Serialize};
@@ -41,11 +50,7 @@ pub struct AdcPoint {
 }
 
 /// Sweep ADC resolution for a fixed strategy on `model`.
-pub fn adc_resolution_sweep(
-    model: &Model,
-    strategy: &[XbarShape],
-    bits: &[u32],
-) -> Vec<AdcPoint> {
+pub fn adc_resolution_sweep(model: &Model, strategy: &[XbarShape], bits: &[u32]) -> Vec<AdcPoint> {
     let tallest = strategy.iter().map(|s| s.rows).max().unwrap_or(0);
     bits.iter()
         .map(|&b| {
@@ -152,6 +157,90 @@ pub fn multi_model_sharing_study(
     }
 }
 
+/// One deployment configuration's serving outcome under the shared load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingStudyRow {
+    /// `"<strategy>/<allocation>"`, e.g. `"autohet/tile-shared"`.
+    pub label: String,
+    /// Requests offered (identical across rows by construction).
+    pub submitted: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// 99th-percentile request latency [ns].
+    pub p99_ns: u64,
+    /// Fraction of offered requests completed within the SLO.
+    pub slo_attainment: f64,
+    /// Total inference energy [nJ].
+    pub energy_nj: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+}
+
+/// Serve `model` under four deployment configurations — {best homogeneous,
+/// greedy AutoHet} strategies × {tile-based, tile-shared} allocation —
+/// against the *same* seeded request stream.
+///
+/// `load` is the offered rate as a fraction of the slowest deployment's
+/// single-replica capacity; values near 1.0 push the slower strategies
+/// into queueing while faster ones stay comfortable, which is exactly the
+/// regime where strategy choice shows up as tail latency.
+pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow> {
+    assert!(load > 0.0);
+    let base = AccelConfig::default();
+    let shared = base.with_tile_sharing();
+    let (homo_shape, _) = best_homogeneous(model, &base);
+    let homo = vec![homo_shape; model.layers.len()];
+    let (het, _) = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base);
+    let configs: [(&str, &[XbarShape], &AccelConfig); 4] = [
+        ("homogeneous/tile-based", &homo, &base),
+        ("homogeneous/tile-shared", &homo, &shared),
+        ("autohet/tile-based", &het, &base),
+        ("autohet/tile-shared", &het, &shared),
+    ];
+    let deployments: Vec<Deployment> = configs
+        .iter()
+        .map(|(label, strategy, cfg)| Deployment::compile(label, model, strategy, cfg))
+        .collect();
+    // Identical load for every row: rate pinned to the slowest deployment,
+    // SLO to the slowest single-sample latency.
+    let floor_rps = deployments
+        .iter()
+        .map(Deployment::max_rate_rps)
+        .fold(f64::MAX, f64::min);
+    let slowest_fill = deployments
+        .iter()
+        .map(|d| d.pipeline.fill_ns)
+        .fold(0.0, f64::max);
+    let rate = load * floor_rps;
+    let slo_ns = (4.0 * slowest_fill) as u64;
+    let wl = Workload {
+        seed,
+        horizon_ns: (2_000.0 / rate * 1e9) as u64,
+    };
+    let cfg = ServeConfig {
+        queue_depth: 32,
+        ..ServeConfig::default()
+    };
+    deployments
+        .into_iter()
+        .map(|d| {
+            let label = d.name.clone();
+            let tenant = TenantSpec::new(&label, d, rate, slo_ns);
+            let r = run_serving(&[tenant], &wl, &cfg);
+            let t = &r.tenants[0];
+            ServingStudyRow {
+                label,
+                submitted: t.submitted,
+                rejected: t.rejected,
+                p99_ns: t.p99_ns,
+                slo_attainment: t.slo_attainment,
+                energy_nj: t.energy_nj,
+                throughput_rps: t.throughput_rps,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +291,15 @@ mod tests {
         let r = multi_model_sharing_study(&models, XbarShape::new(72, 64), 4);
         assert!(r.tiles_per_model <= r.tiles_unshared);
         assert!(r.tiles_joint <= r.tiles_per_model);
+    }
+
+    #[test]
+    fn serving_study_rows_share_identical_load() {
+        let rows = serving_study(&zoo::micro_cnn(), 0.9, 7);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.submitted == rows[0].submitted));
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.slo_attainment)));
+        assert!(rows.iter().all(|r| r.energy_nj > 0.0));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Compiled deployments: one (model, strategy, config) triple frozen into
+//! the two numbers serving needs — batch service time and per-request
+//! energy — plus the full reports for observability.
+
+use autohet_accel::{
+    evaluate, pipeline_report, AccelConfig, EvalEngine, EvalReport, PipelineReport,
+};
+use autohet_dnn::Model;
+use autohet_xbar::XbarShape;
+
+/// A model + per-layer crossbar strategy compiled against an accelerator
+/// configuration, ready to serve requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Label used in reports (e.g. `"alexnet/autohet"`).
+    pub name: String,
+    /// Pipelined execution analysis — the service-time model.
+    pub pipeline: PipelineReport,
+    /// Whole-model evaluation — the energy/area/utilization model.
+    pub eval: EvalReport,
+}
+
+impl Deployment {
+    /// Compile `model` under `strategy` on `cfg`.
+    ///
+    /// Panics if `strategy` does not assign exactly one shape per layer.
+    pub fn compile(name: &str, model: &Model, strategy: &[XbarShape], cfg: &AccelConfig) -> Self {
+        assert_eq!(
+            strategy.len(),
+            model.layers.len(),
+            "strategy must assign one shape per layer of {}",
+            model.name
+        );
+        Deployment {
+            name: name.to_string(),
+            pipeline: pipeline_report(model, strategy, cfg),
+            eval: evaluate(model, strategy, cfg),
+        }
+    }
+
+    /// [`Self::compile`] against an existing memoized engine (reuses its
+    /// model/config and strategy cache for the evaluation half).
+    pub fn with_engine(name: &str, engine: &EvalEngine, strategy: &[XbarShape]) -> Self {
+        Deployment {
+            name: name.to_string(),
+            pipeline: pipeline_report(engine.model(), strategy, engine.config()),
+            eval: engine.evaluate(strategy),
+        }
+    }
+
+    /// Service time for a batch of `n` requests [ns] (integer, ≥ 1).
+    pub fn service_ns(&self, n: usize) -> u64 {
+        self.pipeline.batch_service_ns(n)
+    }
+
+    /// Energy charged per served request [nJ].
+    pub fn energy_per_request_nj(&self) -> f64 {
+        self.eval.energy_nj()
+    }
+
+    /// Steady-state capacity of one replica at full pipelining [req/s].
+    pub fn max_rate_rps(&self) -> f64 {
+        self.pipeline.throughput_sps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_dnn::zoo;
+
+    #[test]
+    fn compile_matches_direct_reports() {
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::square(128); m.layers.len()];
+        let cfg = AccelConfig::default();
+        let d = Deployment::compile("lenet", &m, &strategy, &cfg);
+        assert_eq!(d.pipeline, pipeline_report(&m, &strategy, &cfg));
+        assert_eq!(d.eval, evaluate(&m, &strategy, &cfg));
+        assert!(d.service_ns(1) >= 1);
+        assert!(d.service_ns(8) > d.service_ns(1));
+        assert!(d.energy_per_request_nj() > 0.0);
+        assert!(d.max_rate_rps() > 0.0);
+    }
+
+    #[test]
+    fn engine_path_is_identical_to_direct_path() {
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::new(72, 64); m.layers.len()];
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let engine = EvalEngine::new(m.clone(), cfg);
+        let a = Deployment::compile("a", &m, &strategy, &cfg);
+        let b = Deployment::with_engine("a", &engine, &strategy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shape per layer")]
+    fn compile_rejects_wrong_length_strategy() {
+        let m = zoo::lenet5();
+        Deployment::compile("bad", &m, &[XbarShape::square(64)], &AccelConfig::default());
+    }
+}

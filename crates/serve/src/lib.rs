@@ -1,0 +1,59 @@
+//! # autohet-serve — deterministic multi-tenant inference serving
+//!
+//! The search crates answer *"what accelerator should we build?"*; this
+//! crate answers *"how does that accelerator behave as a service?"*. It
+//! simulates an inference-serving deployment — per-tenant request queues,
+//! batching, admission control, replicated accelerator instances — on top
+//! of the analytical cost model: a [`Deployment`] compiles a
+//! (model, strategy, [`AccelConfig`](autohet_accel::AccelConfig)) triple
+//! into batch service times (via
+//! [`PipelineReport`](autohet_accel::PipelineReport)) and per-request
+//! energy (via [`EvalReport`](autohet_accel::EvalReport)).
+//!
+//! ## Model
+//!
+//! - **Time** is integer nanoseconds (`u64`) of virtual time; nothing
+//!   depends on wall clocks, so every run is exactly reproducible.
+//! - **Arrivals** are open-loop Poisson processes, one seeded
+//!   [`SmallRng`](rand::rngs::SmallRng) stream per tenant, optionally
+//!   modulated by a periodic [`BurstSpec`].
+//! - **Queues** are per-tenant FIFO. An arrival that finds its tenant's
+//!   queue at the configured depth bound is *shed* (counted as rejected).
+//! - **Batching**: a tenant's queue becomes dispatchable when it holds
+//!   `max_batch` requests or its oldest request has waited
+//!   `batch_window_ns`. A dispatch drains up to `max_batch` requests into
+//!   one batch; batch latency is the pipeline's
+//!   `fill + (n − 1) × bottleneck` law.
+//! - **Replicas** are identical accelerator instances. Each batch goes to
+//!   the earliest-free replica (ties: lowest replica id); among
+//!   dispatchable tenants the oldest head request wins (ties: lowest
+//!   tenant id).
+//!
+//! ## Determinism
+//!
+//! The event loop is a recurrence: "the replica with the minimum free
+//! time takes the next dispatchable batch". [`run_serving`] evaluates the
+//! recurrence sequentially; [`run_serving_parallel`] runs one
+//! `crossbeam` worker per replica against shared state guarded by a
+//! `parking_lot` mutex, where a worker proceeds only while its replica
+//! *is* the minimum — so both modes execute the identical batch sequence
+//! and produce bit-identical [`ServingReport`]s (asserted by tests).
+//!
+//! ## Simplifications
+//!
+//! Host-side overheads (RPC, pre/post-processing) are out of scope; a
+//! request's energy is its deployment's single-inference energy; weights
+//! for all tenants are assumed resident (ReRAM weight programming is a
+//! deploy-time cost, §4.5 of the paper).
+
+pub mod deploy;
+pub mod parallel;
+pub mod report;
+pub mod sim;
+pub mod workload;
+
+pub use deploy::Deployment;
+pub use parallel::run_serving_parallel;
+pub use report::{LatencyHistogram, ServingReport, TenantStats};
+pub use sim::{run_serving, ServeConfig};
+pub use workload::{merge_arrivals, tenant_arrivals, Arrival, BurstSpec, TenantSpec, Workload};

@@ -1,0 +1,200 @@
+//! Multi-worker execution: one `crossbeam` scoped worker per replica,
+//! draining the shared scheduling core under a `parking_lot` mutex.
+//!
+//! Determinism argument: the single-threaded driver evaluates the
+//! recurrence "the replica with minimum free time (ties: lowest id)
+//! takes the next batch". Here each worker owns one replica and is
+//! allowed to call [`SimCore::next_batch`] only while its replica *is*
+//! that minimum — enforced under the lock, with a condvar to park the
+//! others. The worker publishes its new free time before releasing the
+//! lock, so the scheduling decisions (and therefore the core's admission
+//! and queue bookkeeping) happen in exactly the single-threaded order.
+//! Per-batch completion results are computed outside the lock into
+//! worker-local vectors, then merged by the gap-free batch index — which
+//! also fixes the floating-point accumulation order in report assembly.
+//! The result is bit-identical to [`run_serving`](crate::run_serving).
+
+use crate::report::{assemble_report, ServingReport};
+use crate::sim::{finish_batch, BatchResult, ServeConfig, SimCore};
+use crate::workload::{merge_arrivals, TenantSpec, Workload};
+use parking_lot::{Condvar, Mutex};
+
+struct Shared {
+    core: SimCore,
+    /// Per-replica free time; `u64::MAX` once the replica retires.
+    free: Vec<u64>,
+    done: Vec<bool>,
+}
+
+impl Shared {
+    /// The active replica with minimum free time (ties: lowest id).
+    fn turn(&self) -> Option<usize> {
+        (0..self.free.len())
+            .filter(|&r| !self.done[r])
+            .min_by_key(|&r| (self.free[r], r))
+    }
+}
+
+/// Run the serving simulation with one worker thread per replica.
+///
+/// Produces a [`ServingReport`] bit-identical to
+/// [`run_serving`](crate::run_serving) on the same inputs.
+pub fn run_serving_parallel(
+    tenants: &[TenantSpec],
+    wl: &Workload,
+    cfg: &ServeConfig,
+) -> ServingReport {
+    cfg.validate();
+    let shared = Mutex::new(Shared {
+        core: SimCore::new(tenants.len(), merge_arrivals(tenants, wl), cfg),
+        free: vec![0; cfg.replicas],
+        done: vec![false; cfg.replicas],
+    });
+    let parked = Condvar::new();
+    let per_worker: Vec<Vec<BatchResult>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.replicas)
+            .map(|w| {
+                let shared = &shared;
+                let parked = &parked;
+                s.spawn(move |_| {
+                    let mut mine: Vec<BatchResult> = Vec::new();
+                    let mut guard = shared.lock();
+                    loop {
+                        if guard.turn() != Some(w) {
+                            parked.wait(&mut guard);
+                            continue;
+                        }
+                        let free_w = guard.free[w];
+                        match guard.core.next_batch(free_w) {
+                            Some(job) => {
+                                let spec = &tenants[job.tenant];
+                                let completion =
+                                    job.start_ns + spec.deployment.service_ns(job.arrivals.len());
+                                guard.free[w] = completion;
+                                parked.notify_all();
+                                drop(guard);
+                                // Out-of-lock work: fold the batch into
+                                // this worker's local results.
+                                mine.push(finish_batch(spec, job, completion));
+                                guard = shared.lock();
+                            }
+                            None => {
+                                guard.done[w] = true;
+                                guard.free[w] = u64::MAX;
+                                parked.notify_all();
+                                return mine;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving worker panicked"))
+            .collect()
+    })
+    .expect("serving worker pool panicked");
+
+    let mut batches: Vec<BatchResult> = per_worker.into_iter().flatten().collect();
+    batches.sort_unstable_by_key(|b| b.index);
+    let core = shared.into_inner().core;
+    assemble_report(tenants, wl, cfg, &core, &batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use crate::sim::run_serving;
+    use crate::workload::BurstSpec;
+    use autohet_accel::AccelConfig;
+    use autohet_dnn::zoo;
+    use autohet_xbar::XbarShape;
+
+    fn deployment(model: autohet_dnn::Model) -> Deployment {
+        let strategy = vec![XbarShape::square(128); model.layers.len()];
+        Deployment::compile(&model.name, &model, &strategy, &AccelConfig::default())
+    }
+
+    fn mixed_tenants() -> Vec<TenantSpec> {
+        let lenet = deployment(zoo::lenet5());
+        let micro = deployment(zoo::micro_cnn());
+        let lenet_rate = 0.8 * lenet.max_rate_rps();
+        let micro_rate = 0.5 * micro.max_rate_rps();
+        let lenet_slo = (6.0 * lenet.pipeline.fill_ns) as u64;
+        let micro_slo = (6.0 * micro.pipeline.fill_ns) as u64;
+        vec![
+            TenantSpec::new("lenet", lenet, lenet_rate, lenet_slo).with_burst(BurstSpec {
+                period_ns: 40_000_000,
+                burst_ns: 8_000_000,
+                factor: 4.0,
+            }),
+            TenantSpec::new("micro", micro, micro_rate, micro_slo),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_single_threaded_bit_for_bit() {
+        let tenants = mixed_tenants();
+        let wl = Workload {
+            seed: 1234,
+            horizon_ns: 40_000_000,
+        };
+        for replicas in [1usize, 2, 3, 4] {
+            for queue_depth in [8usize, 64] {
+                let cfg = ServeConfig {
+                    replicas,
+                    queue_depth,
+                    ..ServeConfig::default()
+                };
+                let single = run_serving(&tenants, &wl, &cfg);
+                let multi = run_serving_parallel(&tenants, &wl, &cfg);
+                // The acceptance-criteria trio, spelled out…
+                for (s, m) in single.tenants.iter().zip(&multi.tenants) {
+                    assert_eq!(s.submitted, m.submitted);
+                    assert_eq!(s.completed, m.completed);
+                    assert_eq!(s.rejected, m.rejected);
+                    assert_eq!(s.histogram, m.histogram);
+                }
+                // …and full bit-identity on top.
+                assert_eq!(single, multi, "replicas={replicas} depth={queue_depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_itself_deterministic_across_runs() {
+        let tenants = mixed_tenants();
+        let wl = Workload {
+            seed: 99,
+            horizon_ns: 30_000_000,
+        };
+        let cfg = ServeConfig {
+            replicas: 3,
+            ..ServeConfig::default()
+        };
+        let a = run_serving_parallel(&tenants, &wl, &cfg);
+        let b = run_serving_parallel(&tenants, &wl, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_handles_empty_workload() {
+        let mut tenants = mixed_tenants();
+        for t in &mut tenants {
+            t.rate_rps = 0.0;
+        }
+        let wl = Workload {
+            seed: 0,
+            horizon_ns: 1_000_000,
+        };
+        let cfg = ServeConfig {
+            replicas: 4,
+            ..ServeConfig::default()
+        };
+        let r = run_serving_parallel(&tenants, &wl, &cfg);
+        assert_eq!(r.total_completed, 0);
+        assert_eq!(r.batches, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Serving observability: per-tenant latency/SLO/energy statistics and
+//! the aggregate [`ServingReport`] both execution modes assemble from the
+//! same batch stream.
+
+use crate::sim::{BatchResult, ServeConfig, SimCore};
+use crate::workload::{TenantSpec, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency bins (covers the full `u64` range).
+const HIST_BINS: usize = 64;
+
+/// Fixed log₂-binned latency histogram: bin `i` counts latencies in
+/// `[2^i, 2^(i+1))` ns (bin 0 also absorbs 0 ns).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bin request counts.
+    pub bins: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            bins: vec![0; HIST_BINS],
+        }
+    }
+
+    /// Record one request latency [ns].
+    pub fn record(&mut self, latency_ns: u64) {
+        let bin = if latency_ns <= 1 {
+            0
+        } else {
+            (latency_ns.ilog2() as usize).min(HIST_BINS - 1)
+        };
+        self.bins[bin] += 1;
+    }
+
+    /// Total recorded requests.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Serving statistics for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant label (from [`TenantSpec`]).
+    pub name: String,
+    /// Arrivals generated for this tenant (admitted + shed).
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Batches dispatched for this tenant.
+    pub batches: u64,
+    /// Nearest-rank latency percentiles over completed requests [ns].
+    pub p50_ns: u64,
+    /// 95th percentile latency [ns].
+    pub p95_ns: u64,
+    /// 99th percentile latency [ns].
+    pub p99_ns: u64,
+    /// Worst completed-request latency [ns].
+    pub max_ns: u64,
+    /// Mean latency over completed requests [ns].
+    pub mean_ns: f64,
+    /// The tenant's latency objective [ns].
+    pub slo_ns: u64,
+    /// Fraction of *submitted* requests completed within the SLO (shed
+    /// requests count as violations); 1.0 for an idle tenant.
+    pub slo_attainment: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Total inference energy charged to this tenant [nJ].
+    pub energy_nj: f64,
+    /// Largest waiting-queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Time-weighted mean waiting-queue depth over the run.
+    pub mean_queue_depth: f64,
+    /// Log₂-binned latency distribution.
+    pub histogram: LatencyHistogram,
+}
+
+/// Aggregate outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Workload master seed.
+    pub seed: u64,
+    /// Arrival-generation horizon [ns].
+    pub horizon_ns: u64,
+    /// Virtual time at which the last batch completed (≥ horizon).
+    pub makespan_ns: u64,
+    /// Replicas simulated.
+    pub replicas: usize,
+    /// Total batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Completed requests across all tenants.
+    pub total_completed: u64,
+    /// Shed requests across all tenants.
+    pub total_rejected: u64,
+    /// Total inference energy [nJ].
+    pub total_energy_nj: f64,
+    /// Completed requests per second of virtual time, all tenants.
+    pub aggregate_throughput_rps: f64,
+    /// Per-tenant breakdown, in tenant declaration order.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Fold an index-ordered batch stream plus the core's admission counters
+/// into the final report. Both execution modes call this with the same
+/// inputs, so their reports are bit-identical.
+pub(crate) fn assemble_report(
+    tenants: &[TenantSpec],
+    wl: &Workload,
+    cfg: &ServeConfig,
+    core: &SimCore,
+    batches: &[BatchResult],
+) -> ServingReport {
+    let n = tenants.len();
+    let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut hist = vec![LatencyHistogram::new(); n];
+    let mut energy = vec![0.0f64; n];
+    let mut tenant_batches = vec![0u64; n];
+    let mut makespan = wl.horizon_ns;
+    let mut total_requests = 0u64;
+    for (i, b) in batches.iter().enumerate() {
+        debug_assert_eq!(b.index, i, "batch stream must be index-ordered");
+        for &a in &b.arrivals {
+            let l = b.completion_ns - a;
+            latencies[b.tenant].push(l);
+            hist[b.tenant].record(l);
+        }
+        energy[b.tenant] += b.energy_nj;
+        tenant_batches[b.tenant] += 1;
+        total_requests += b.arrivals.len() as u64;
+        makespan = makespan.max(b.completion_ns);
+    }
+    let span_s = makespan as f64 * 1e-9;
+    let stats: Vec<TenantStats> = (0..n)
+        .map(|t| {
+            let lat = &mut latencies[t];
+            lat.sort_unstable();
+            let completed = lat.len() as u64;
+            let met = lat.iter().filter(|&&l| l <= tenants[t].slo_ns).count() as u64;
+            let submitted = core.submitted[t];
+            let sum: u128 = lat.iter().map(|&l| l as u128).sum();
+            TenantStats {
+                name: tenants[t].name.clone(),
+                submitted,
+                completed,
+                rejected: core.rejected[t],
+                batches: tenant_batches[t],
+                p50_ns: percentile(lat, 0.50),
+                p95_ns: percentile(lat, 0.95),
+                p99_ns: percentile(lat, 0.99),
+                max_ns: lat.last().copied().unwrap_or(0),
+                mean_ns: if completed == 0 {
+                    0.0
+                } else {
+                    sum as f64 / completed as f64
+                },
+                slo_ns: tenants[t].slo_ns,
+                slo_attainment: if submitted == 0 {
+                    1.0
+                } else {
+                    met as f64 / submitted as f64
+                },
+                throughput_rps: if span_s > 0.0 {
+                    completed as f64 / span_s
+                } else {
+                    0.0
+                },
+                energy_nj: energy[t],
+                peak_queue_depth: core.peak_depth[t] as u64,
+                mean_queue_depth: core.mean_depth(t, makespan),
+                histogram: hist[t].clone(),
+            }
+        })
+        .collect();
+    let total_completed: u64 = stats.iter().map(|s| s.completed).sum();
+    ServingReport {
+        seed: wl.seed,
+        horizon_ns: wl.horizon_ns,
+        makespan_ns: makespan,
+        replicas: cfg.replicas,
+        batches: batches.len() as u64,
+        mean_batch_size: if batches.is_empty() {
+            0.0
+        } else {
+            total_requests as f64 / batches.len() as f64
+        },
+        total_completed,
+        total_rejected: stats.iter().map(|s| s.rejected).sum(),
+        total_energy_nj: energy.iter().sum(),
+        aggregate_throughput_rps: if span_s > 0.0 {
+            total_completed as f64 / span_s
+        } else {
+            0.0
+        },
+        tenants: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_are_powers_of_two() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        h.record(u64::MAX);
+        assert_eq!(h.bins[0], 2); // 0 and 1
+        assert_eq!(h.bins[1], 2); // 2 and 3
+        assert_eq!(h.bins[10], 1); // 1024
+        assert_eq!(h.bins[63], 1); // u64::MAX
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

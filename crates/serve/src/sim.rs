@@ -1,0 +1,402 @@
+//! The discrete-event serving core and its single-threaded driver.
+//!
+//! The simulation is expressed as a recurrence rather than an explicit
+//! event heap: [`SimCore::next_batch`] is called with the free time of
+//! the earliest-free replica and returns the next dispatched batch,
+//! internally ingesting every arrival (admission or shedding) that
+//! precedes the dispatch. Because free times are non-decreasing across
+//! calls, candidate dispatch times only improve as arrivals are ingested,
+//! and ingestion is gated by the current best candidate, the resulting
+//! event order is causally consistent — and identical no matter whether
+//! the recurrence is evaluated by one thread ([`run_serving`]) or by one
+//! worker per replica ([`run_serving_parallel`](crate::parallel)).
+
+use crate::report::{assemble_report, ServingReport};
+use crate::workload::{merge_arrivals, Arrival, TenantSpec, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Scheduler knobs for one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of identical accelerator instances.
+    pub replicas: usize,
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits before its tenant
+    /// becomes dispatchable regardless of batch fill [ns].
+    pub batch_window_ns: u64,
+    /// Per-tenant bound on waiting requests; arrivals beyond it are shed.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            replicas: 1,
+            max_batch: 8,
+            batch_window_ns: 1_000_000,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub(crate) fn validate(&self) {
+        assert!(self.replicas >= 1, "need at least one replica");
+        assert!(self.max_batch >= 1, "need at least one request per batch");
+        assert!(self.queue_depth >= 1, "need queue space for one request");
+    }
+}
+
+/// A batch the scheduler decided to dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BatchJob {
+    /// Dispatch sequence number (0-based, gap-free).
+    pub index: usize,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Dispatch timestamp [ns].
+    pub start_ns: u64,
+    /// Arrival timestamp of each request in the batch, FIFO order.
+    pub arrivals: Vec<u64>,
+}
+
+/// A completed batch with everything report assembly needs.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BatchResult {
+    pub index: usize,
+    pub tenant: usize,
+    pub completion_ns: u64,
+    pub arrivals: Vec<u64>,
+    pub energy_nj: f64,
+}
+
+/// Queue/admission state shared by both execution modes.
+pub(crate) struct SimCore {
+    arrivals: Vec<Arrival>,
+    cursor: usize,
+    window_ns: u64,
+    max_batch: usize,
+    depth_bound: usize,
+    queues: Vec<VecDeque<u64>>,
+    next_index: usize,
+    pub submitted: Vec<u64>,
+    pub rejected: Vec<u64>,
+    pub peak_depth: Vec<usize>,
+    depth_area: Vec<u128>,
+    last_event: Vec<u64>,
+}
+
+impl SimCore {
+    pub fn new(n_tenants: usize, arrivals: Vec<Arrival>, cfg: &ServeConfig) -> Self {
+        SimCore {
+            arrivals,
+            cursor: 0,
+            window_ns: cfg.batch_window_ns,
+            max_batch: cfg.max_batch,
+            depth_bound: cfg.queue_depth,
+            queues: vec![VecDeque::new(); n_tenants],
+            next_index: 0,
+            submitted: vec![0; n_tenants],
+            rejected: vec![0; n_tenants],
+            peak_depth: vec![0; n_tenants],
+            depth_area: vec![0; n_tenants],
+            last_event: vec![0; n_tenants],
+        }
+    }
+
+    /// Earliest dispatch `(at, head_arrival, tenant)` for tenant `t`
+    /// given the earliest replica free time, if `t` has queued work.
+    fn candidate(&self, t: usize, free_ns: u64) -> Option<(u64, u64, usize)> {
+        let q = &self.queues[t];
+        let head = *q.front()?;
+        let mut ready = head.saturating_add(self.window_ns);
+        if q.len() >= self.max_batch {
+            // The batch filled when its max_batch-th request arrived.
+            ready = ready.min(q[self.max_batch - 1]);
+        }
+        Some((ready.max(free_ns), head, t))
+    }
+
+    /// Best dispatch over all tenants: min (time, head age, tenant id).
+    fn best_candidate(&self, free_ns: u64) -> Option<(u64, u64, usize)> {
+        (0..self.queues.len())
+            .filter_map(|t| self.candidate(t, free_ns))
+            .min()
+    }
+
+    /// Advance the time-weighted queue-depth integral for tenant `t` up
+    /// to `now` (per-tenant event times are monotone).
+    fn track_depth(&mut self, t: usize, now: u64) {
+        let dt = now.saturating_sub(self.last_event[t]);
+        self.depth_area[t] += self.queues[t].len() as u128 * dt as u128;
+        self.last_event[t] = now;
+    }
+
+    /// Admit or shed one arrival.
+    fn ingest(&mut self, a: Arrival) {
+        self.submitted[a.tenant] += 1;
+        if self.queues[a.tenant].len() >= self.depth_bound {
+            self.rejected[a.tenant] += 1;
+            return;
+        }
+        self.track_depth(a.tenant, a.time_ns);
+        self.queues[a.tenant].push_back(a.time_ns);
+        let depth = self.queues[a.tenant].len();
+        if depth > self.peak_depth[a.tenant] {
+            self.peak_depth[a.tenant] = depth;
+        }
+    }
+
+    /// The scheduling recurrence: given the minimum replica free time,
+    /// ingest arrivals up to the next dispatch and return that batch, or
+    /// `None` once the workload is drained. Idempotent at exhaustion.
+    pub fn next_batch(&mut self, free_ns: u64) -> Option<BatchJob> {
+        loop {
+            let best = self.best_candidate(free_ns);
+            let next = self.arrivals.get(self.cursor).copied();
+            match (best, next) {
+                (None, None) => return None,
+                (None, Some(a)) => {
+                    self.cursor += 1;
+                    self.ingest(a);
+                }
+                (Some((at, _, t)), next) => {
+                    if let Some(a) = next {
+                        // Arrivals at the dispatch instant join first.
+                        if a.time_ns <= at {
+                            self.cursor += 1;
+                            self.ingest(a);
+                            continue;
+                        }
+                    }
+                    let n = self.queues[t].len().min(self.max_batch);
+                    self.track_depth(t, at);
+                    let arrivals: Vec<u64> = self.queues[t].drain(..n).collect();
+                    let index = self.next_index;
+                    self.next_index += 1;
+                    return Some(BatchJob {
+                        index,
+                        tenant: t,
+                        start_ns: at,
+                        arrivals,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Mean waiting-queue depth for tenant `t` over `[0, makespan_ns]`.
+    pub fn mean_depth(&self, t: usize, makespan_ns: u64) -> f64 {
+        if makespan_ns == 0 {
+            return 0.0;
+        }
+        self.depth_area[t] as f64 / makespan_ns as f64
+    }
+}
+
+/// The earliest-free replica (ties: lowest id).
+pub(crate) fn argmin_replica(free: &[u64]) -> usize {
+    let mut best = 0;
+    for (r, &f) in free.iter().enumerate().skip(1) {
+        if f < free[best] {
+            best = r;
+        }
+    }
+    best
+}
+
+/// Turn a dispatched batch into its completed result.
+pub(crate) fn finish_batch(spec: &TenantSpec, job: BatchJob, completion_ns: u64) -> BatchResult {
+    let n = job.arrivals.len();
+    BatchResult {
+        index: job.index,
+        tenant: job.tenant,
+        completion_ns,
+        arrivals: job.arrivals,
+        energy_nj: n as f64 * spec.deployment.energy_per_request_nj(),
+    }
+}
+
+/// Run the serving simulation on a single thread.
+///
+/// Same (tenants, workload, config) ⇒ bit-identical [`ServingReport`].
+pub fn run_serving(tenants: &[TenantSpec], wl: &Workload, cfg: &ServeConfig) -> ServingReport {
+    cfg.validate();
+    let mut core = SimCore::new(tenants.len(), merge_arrivals(tenants, wl), cfg);
+    let mut free = vec![0u64; cfg.replicas];
+    let mut batches = Vec::new();
+    loop {
+        let r = argmin_replica(&free);
+        let Some(job) = core.next_batch(free[r]) else {
+            break;
+        };
+        let spec = &tenants[job.tenant];
+        let completion = job.start_ns + spec.deployment.service_ns(job.arrivals.len());
+        free[r] = completion;
+        batches.push(finish_batch(spec, job, completion));
+    }
+    assemble_report(tenants, wl, cfg, &core, &batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use autohet_accel::AccelConfig;
+    use autohet_dnn::zoo;
+    use autohet_xbar::XbarShape;
+
+    fn lenet_deployment() -> Deployment {
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::square(128); m.layers.len()];
+        Deployment::compile("lenet", &m, &strategy, &AccelConfig::default())
+    }
+
+    /// One tenant at `load` × single-replica capacity.
+    fn tenant_at_load(load: f64, slo_mult: f64) -> TenantSpec {
+        let d = lenet_deployment();
+        let rate = load * d.max_rate_rps();
+        let slo = (slo_mult * d.pipeline.fill_ns) as u64;
+        TenantSpec::new("lenet", d, rate, slo.max(1))
+    }
+
+    fn wl(seed: u64, n_requests: f64, rate_rps: f64) -> Workload {
+        Workload {
+            seed,
+            horizon_ns: (n_requests / rate_rps * 1e9) as u64,
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(42, 2_000.0, t[0].rate_rps);
+        let cfg = ServeConfig::default();
+        assert_eq!(run_serving(&t, &w, &cfg), run_serving(&t, &w, &cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let rate = t[0].rate_rps;
+        let a = run_serving(&t, &wl(1, 1_000.0, rate), &ServeConfig::default());
+        let b = run_serving(&t, &wl(2, 1_000.0, rate), &ServeConfig::default());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn conservation_completed_plus_rejected_is_submitted() {
+        // Overload so shedding actually happens.
+        let t = vec![tenant_at_load(3.0, 10.0)];
+        let w = wl(9, 3_000.0, t[0].rate_rps);
+        let cfg = ServeConfig {
+            queue_depth: 16,
+            ..ServeConfig::default()
+        };
+        let r = run_serving(&t, &w, &cfg);
+        let s = &r.tenants[0];
+        assert!(s.rejected > 0, "overload should shed");
+        assert_eq!(s.completed + s.rejected, s.submitted);
+        assert_eq!(r.total_completed + r.total_rejected, s.submitted);
+        assert_eq!(s.histogram.count(), s.completed);
+    }
+
+    #[test]
+    fn max_batch_one_disables_batching() {
+        let t = vec![tenant_at_load(0.5, 10.0)];
+        let w = wl(4, 500.0, t[0].rate_rps);
+        let cfg = ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let r = run_serving(&t, &w, &cfg);
+        assert_eq!(r.batches, r.total_completed);
+        assert!((r.mean_batch_size - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_forms_larger_batches_than_light_load() {
+        let make = |load: f64| {
+            let t = vec![tenant_at_load(load, 10.0)];
+            let w = wl(8, 2_000.0, t[0].rate_rps);
+            run_serving(&t, &w, &ServeConfig::default())
+        };
+        let light = make(0.05);
+        let heavy = make(2.0);
+        assert!(heavy.mean_batch_size > light.mean_batch_size);
+        assert!(heavy.mean_batch_size > 2.0, "{}", heavy.mean_batch_size);
+    }
+
+    #[test]
+    fn latency_stats_are_ordered_and_bounded_below_by_service() {
+        let t = vec![tenant_at_load(0.7, 10.0)];
+        let w = wl(13, 2_000.0, t[0].rate_rps);
+        let r = run_serving(&t, &w, &ServeConfig::default());
+        let s = &r.tenants[0];
+        assert!(s.p50_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        // A request can't finish faster than a single-sample service.
+        assert!(s.p50_ns >= t[0].deployment.service_ns(1));
+        assert!(s.mean_ns > 0.0);
+        assert!(s.peak_queue_depth >= 1);
+        assert!(s.mean_queue_depth >= 0.0);
+    }
+
+    #[test]
+    fn second_replica_relieves_an_overloaded_tenant() {
+        let t = vec![tenant_at_load(1.5, 4.0)];
+        let w = wl(21, 3_000.0, t[0].rate_rps);
+        let one = run_serving(&t, &w, &ServeConfig::default());
+        let two = run_serving(
+            &t,
+            &w,
+            &ServeConfig {
+                replicas: 2,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(two.tenants[0].p99_ns < one.tenants[0].p99_ns);
+        assert!(two.tenants[0].slo_attainment > one.tenants[0].slo_attainment);
+        assert!(two.makespan_ns <= one.makespan_ns);
+    }
+
+    #[test]
+    fn generous_slo_is_met_under_light_load() {
+        let t = vec![tenant_at_load(0.1, 1_000.0)];
+        let w = wl(2, 300.0, t[0].rate_rps);
+        let r = run_serving(&t, &w, &ServeConfig::default());
+        assert_eq!(r.tenants[0].rejected, 0);
+        assert!((r.tenants[0].slo_attainment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_report() {
+        let mut spec = tenant_at_load(0.5, 10.0);
+        spec.rate_rps = 0.0;
+        let w = Workload {
+            seed: 0,
+            horizon_ns: 1_000_000,
+        };
+        let r = run_serving(&[spec], &w, &ServeConfig::default());
+        assert_eq!(r.total_completed, 0);
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.tenants[0].p99_ns, 0);
+        assert_eq!(r.makespan_ns, w.horizon_ns);
+        assert!((r.tenants[0].slo_attainment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tenants_share_capacity_fairly_by_arrival_order() {
+        let a = tenant_at_load(0.4, 10.0);
+        let b = tenant_at_load(0.4, 10.0);
+        let w = wl(31, 2_000.0, a.rate_rps + b.rate_rps);
+        let r = run_serving(&[a, b], &w, &ServeConfig::default());
+        assert_eq!(r.tenants.len(), 2);
+        // Symmetric tenants under a shared replica: both make progress.
+        assert!(r.tenants[0].completed > 0);
+        assert!(r.tenants[1].completed > 0);
+    }
+}

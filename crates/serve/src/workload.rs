@@ -1,0 +1,221 @@
+//! Seeded open-loop workload generation.
+//!
+//! Each tenant gets an independent Poisson arrival process: exponential
+//! inter-arrival gaps drawn from a per-tenant `SmallRng` whose seed is a
+//! pure function of the workload seed and the tenant index. Optional
+//! periodic bursts scale the instantaneous rate (piecewise-constant
+//! thinning-free approximation: the rate in force at the previous arrival
+//! governs the next gap). All timestamps are integer nanoseconds.
+
+use crate::deploy::Deployment;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Periodic overload phases layered onto a tenant's base rate: for the
+/// first `burst_ns` of every `period_ns`, the rate is multiplied by
+/// `factor`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    /// Burst cycle length [ns].
+    pub period_ns: u64,
+    /// Burst duration at the start of each cycle [ns] (≤ `period_ns`).
+    pub burst_ns: u64,
+    /// Rate multiplier during the burst (> 0).
+    pub factor: f64,
+}
+
+/// One tenant of the serving deployment: a compiled model plus its
+/// traffic contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant label used in reports.
+    pub name: String,
+    /// The compiled model this tenant's requests run on.
+    pub deployment: Deployment,
+    /// Mean request rate [requests/s].
+    pub rate_rps: f64,
+    /// Latency objective: a request meets its SLO iff
+    /// `completion − arrival ≤ slo_ns`.
+    pub slo_ns: u64,
+    /// Optional periodic burst pattern.
+    pub burst: Option<BurstSpec>,
+}
+
+impl TenantSpec {
+    /// A steady (burst-free) tenant.
+    pub fn new(name: &str, deployment: Deployment, rate_rps: f64, slo_ns: u64) -> Self {
+        assert!(rate_rps >= 0.0, "negative rate");
+        assert!(slo_ns > 0, "zero SLO");
+        TenantSpec {
+            name: name.to_string(),
+            deployment,
+            rate_rps,
+            slo_ns,
+            burst: None,
+        }
+    }
+
+    /// Attach a periodic burst pattern.
+    pub fn with_burst(mut self, burst: BurstSpec) -> Self {
+        assert!(burst.period_ns > 0 && burst.burst_ns <= burst.period_ns);
+        assert!(burst.factor > 0.0);
+        self.burst = Some(burst);
+        self
+    }
+}
+
+/// Global workload parameters shared by every tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Master seed; tenant streams are derived from it deterministically.
+    pub seed: u64,
+    /// Arrivals are generated on `[0, horizon_ns)`.
+    pub horizon_ns: u64,
+}
+
+/// One request arrival in the merged stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Arrival {
+    /// Arrival timestamp [ns].
+    pub time_ns: u64,
+    /// Index into the tenant slice.
+    pub tenant: usize,
+}
+
+/// Splitmix-style stream derivation so tenant streams are independent
+/// even for adjacent seeds/indices.
+fn tenant_seed(master: u64, tenant: usize) -> u64 {
+    master
+        .wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .rotate_left(17)
+        ^ 0xD1B5_4A32_D192_ED03
+}
+
+/// Generate the sorted arrival times for one tenant on `[0, horizon)`.
+pub fn tenant_arrivals(tenant: usize, spec: &TenantSpec, wl: &Workload) -> Vec<u64> {
+    let mut out = Vec::new();
+    if spec.rate_rps <= 0.0 || wl.horizon_ns == 0 {
+        return out;
+    }
+    let mut rng = SmallRng::seed_from_u64(tenant_seed(wl.seed, tenant));
+    let base_per_ns = spec.rate_rps * 1e-9;
+    let mut t = 0.0f64;
+    loop {
+        let factor = match spec.burst {
+            Some(b) if (t as u64) % b.period_ns < b.burst_ns => b.factor,
+            _ => 1.0,
+        };
+        let u: f64 = rng.gen();
+        // u ∈ [0, 1) ⇒ 1 − u ∈ (0, 1] ⇒ gap finite and ≥ 0.
+        let gap = -(1.0 - u).ln() / (base_per_ns * factor);
+        t += gap;
+        if t >= wl.horizon_ns as f64 {
+            return out;
+        }
+        out.push(t as u64);
+    }
+}
+
+/// Merge every tenant's arrivals into one stream ordered by
+/// (time, tenant index).
+pub fn merge_arrivals(tenants: &[TenantSpec], wl: &Workload) -> Vec<Arrival> {
+    let mut all: Vec<Arrival> = tenants
+        .iter()
+        .enumerate()
+        .flat_map(|(i, spec)| {
+            tenant_arrivals(i, spec, wl)
+                .into_iter()
+                .map(move |time_ns| Arrival { time_ns, tenant: i })
+        })
+        .collect();
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autohet_accel::AccelConfig;
+    use autohet_dnn::zoo;
+    use autohet_xbar::XbarShape;
+
+    fn tenant(rate_rps: f64) -> TenantSpec {
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::square(128); m.layers.len()];
+        let d = Deployment::compile("lenet", &m, &strategy, &AccelConfig::default());
+        TenantSpec::new("t", d, rate_rps, 1_000_000_000)
+    }
+
+    #[test]
+    fn arrivals_are_sorted_inside_horizon_and_deterministic() {
+        let wl = Workload {
+            seed: 7,
+            horizon_ns: 1_000_000_000,
+        };
+        let spec = tenant(5_000.0);
+        let a = tenant_arrivals(0, &spec, &wl);
+        let b = tenant_arrivals(0, &spec, &wl);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| t < wl.horizon_ns));
+        let other = tenant_arrivals(0, &spec, &Workload { seed: 8, ..wl });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn mean_rate_is_close_to_requested() {
+        let wl = Workload {
+            seed: 3,
+            horizon_ns: 2_000_000_000,
+        };
+        let spec = tenant(10_000.0);
+        let n = tenant_arrivals(0, &spec, &wl).len() as f64;
+        let expected = 10_000.0 * wl.horizon_ns as f64 * 1e-9;
+        assert!((n - expected).abs() < 0.1 * expected, "{n} vs {expected}");
+    }
+
+    #[test]
+    fn bursts_add_arrivals() {
+        let wl = Workload {
+            seed: 11,
+            horizon_ns: 1_000_000_000,
+        };
+        let steady = tenant_arrivals(0, &tenant(2_000.0), &wl).len();
+        let bursty_spec = tenant(2_000.0).with_burst(BurstSpec {
+            period_ns: 100_000_000,
+            burst_ns: 20_000_000,
+            factor: 8.0,
+        });
+        let bursty = tenant_arrivals(0, &bursty_spec, &wl).len();
+        assert!(bursty > steady + steady / 2, "{bursty} vs {steady}");
+    }
+
+    #[test]
+    fn zero_rate_yields_no_arrivals() {
+        let wl = Workload {
+            seed: 1,
+            horizon_ns: 1_000_000_000,
+        };
+        assert!(tenant_arrivals(0, &tenant(0.0), &wl).is_empty());
+    }
+
+    #[test]
+    fn merged_stream_is_ordered_and_complete() {
+        let wl = Workload {
+            seed: 5,
+            horizon_ns: 500_000_000,
+        };
+        let tenants = [tenant(4_000.0), tenant(1_000.0)];
+        let merged = merge_arrivals(&tenants, &wl);
+        let per: usize = (0..2)
+            .map(|i| tenant_arrivals(i, &tenants[i], &wl).len())
+            .sum();
+        assert_eq!(merged.len(), per);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        // Independent streams: both tenants contribute.
+        assert!(merged.iter().any(|a| a.tenant == 0));
+        assert!(merged.iter().any(|a| a.tenant == 1));
+    }
+}

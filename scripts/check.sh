@@ -7,4 +7,5 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
+# --all-targets lints tests, examples, and benches too, not just lib code.
+cargo clippy --workspace --all-targets -- -D warnings
