@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/autohet-8aa3561f501ed1cf.d: crates/autohet/src/lib.rs crates/autohet/src/ablation.rs crates/autohet/src/env.rs crates/autohet/src/homogeneous.rs crates/autohet/src/multi_model.rs crates/autohet/src/par.rs crates/autohet/src/pareto.rs crates/autohet/src/persist.rs crates/autohet/src/search/mod.rs crates/autohet/src/search/annealing.rs crates/autohet/src/search/dqn.rs crates/autohet/src/search/exhaustive.rs crates/autohet/src/search/greedy.rs crates/autohet/src/search/random.rs crates/autohet/src/search/rl.rs crates/autohet/src/sensitivity.rs crates/autohet/src/studies.rs
+
+/root/repo/target/debug/deps/libautohet-8aa3561f501ed1cf.rlib: crates/autohet/src/lib.rs crates/autohet/src/ablation.rs crates/autohet/src/env.rs crates/autohet/src/homogeneous.rs crates/autohet/src/multi_model.rs crates/autohet/src/par.rs crates/autohet/src/pareto.rs crates/autohet/src/persist.rs crates/autohet/src/search/mod.rs crates/autohet/src/search/annealing.rs crates/autohet/src/search/dqn.rs crates/autohet/src/search/exhaustive.rs crates/autohet/src/search/greedy.rs crates/autohet/src/search/random.rs crates/autohet/src/search/rl.rs crates/autohet/src/sensitivity.rs crates/autohet/src/studies.rs
+
+/root/repo/target/debug/deps/libautohet-8aa3561f501ed1cf.rmeta: crates/autohet/src/lib.rs crates/autohet/src/ablation.rs crates/autohet/src/env.rs crates/autohet/src/homogeneous.rs crates/autohet/src/multi_model.rs crates/autohet/src/par.rs crates/autohet/src/pareto.rs crates/autohet/src/persist.rs crates/autohet/src/search/mod.rs crates/autohet/src/search/annealing.rs crates/autohet/src/search/dqn.rs crates/autohet/src/search/exhaustive.rs crates/autohet/src/search/greedy.rs crates/autohet/src/search/random.rs crates/autohet/src/search/rl.rs crates/autohet/src/sensitivity.rs crates/autohet/src/studies.rs
+
+crates/autohet/src/lib.rs:
+crates/autohet/src/ablation.rs:
+crates/autohet/src/env.rs:
+crates/autohet/src/homogeneous.rs:
+crates/autohet/src/multi_model.rs:
+crates/autohet/src/par.rs:
+crates/autohet/src/pareto.rs:
+crates/autohet/src/persist.rs:
+crates/autohet/src/search/mod.rs:
+crates/autohet/src/search/annealing.rs:
+crates/autohet/src/search/dqn.rs:
+crates/autohet/src/search/exhaustive.rs:
+crates/autohet/src/search/greedy.rs:
+crates/autohet/src/search/random.rs:
+crates/autohet/src/search/rl.rs:
+crates/autohet/src/sensitivity.rs:
+crates/autohet/src/studies.rs:

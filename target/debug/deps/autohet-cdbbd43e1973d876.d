@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/autohet-cdbbd43e1973d876.d: crates/autohet/src/lib.rs crates/autohet/src/ablation.rs crates/autohet/src/env.rs crates/autohet/src/homogeneous.rs crates/autohet/src/multi_model.rs crates/autohet/src/par.rs crates/autohet/src/pareto.rs crates/autohet/src/persist.rs crates/autohet/src/search/mod.rs crates/autohet/src/search/annealing.rs crates/autohet/src/search/dqn.rs crates/autohet/src/search/exhaustive.rs crates/autohet/src/search/greedy.rs crates/autohet/src/search/random.rs crates/autohet/src/search/rl.rs crates/autohet/src/sensitivity.rs crates/autohet/src/studies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautohet-cdbbd43e1973d876.rmeta: crates/autohet/src/lib.rs crates/autohet/src/ablation.rs crates/autohet/src/env.rs crates/autohet/src/homogeneous.rs crates/autohet/src/multi_model.rs crates/autohet/src/par.rs crates/autohet/src/pareto.rs crates/autohet/src/persist.rs crates/autohet/src/search/mod.rs crates/autohet/src/search/annealing.rs crates/autohet/src/search/dqn.rs crates/autohet/src/search/exhaustive.rs crates/autohet/src/search/greedy.rs crates/autohet/src/search/random.rs crates/autohet/src/search/rl.rs crates/autohet/src/sensitivity.rs crates/autohet/src/studies.rs Cargo.toml
+
+crates/autohet/src/lib.rs:
+crates/autohet/src/ablation.rs:
+crates/autohet/src/env.rs:
+crates/autohet/src/homogeneous.rs:
+crates/autohet/src/multi_model.rs:
+crates/autohet/src/par.rs:
+crates/autohet/src/pareto.rs:
+crates/autohet/src/persist.rs:
+crates/autohet/src/search/mod.rs:
+crates/autohet/src/search/annealing.rs:
+crates/autohet/src/search/dqn.rs:
+crates/autohet/src/search/exhaustive.rs:
+crates/autohet/src/search/greedy.rs:
+crates/autohet/src/search/random.rs:
+crates/autohet/src/search/rl.rs:
+crates/autohet/src/sensitivity.rs:
+crates/autohet/src/studies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

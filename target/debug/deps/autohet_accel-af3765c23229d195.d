@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/autohet_accel-af3765c23229d195.d: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs
+
+/root/repo/target/debug/deps/autohet_accel-af3765c23229d195: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/alloc.rs:
+crates/accel/src/controller.rs:
+crates/accel/src/engine.rs:
+crates/accel/src/hierarchy.rs:
+crates/accel/src/mapping.rs:
+crates/accel/src/metrics.rs:
+crates/accel/src/noc.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/tile_shared.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/autohet_accel-d19c36d04de72668.d: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautohet_accel-d19c36d04de72668.rmeta: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/alloc.rs:
+crates/accel/src/controller.rs:
+crates/accel/src/engine.rs:
+crates/accel/src/hierarchy.rs:
+crates/accel/src/mapping.rs:
+crates/accel/src/metrics.rs:
+crates/accel/src/noc.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/tile_shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/autohet_bench-33618a04fe396906.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautohet_bench-33618a04fe396906.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautohet_bench-33618a04fe396906.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

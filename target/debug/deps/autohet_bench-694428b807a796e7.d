@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autohet_bench-694428b807a796e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/autohet_bench-694428b807a796e7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/autohet_bench-839063f9d5269abd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautohet_bench-839063f9d5269abd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libautohet_bench-839063f9d5269abd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

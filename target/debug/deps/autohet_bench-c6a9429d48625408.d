@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autohet_bench-c6a9429d48625408.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/autohet_bench-c6a9429d48625408: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/autohet_dnn-c10ceb55f07d4562.d: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautohet_dnn-c10ceb55f07d4562.rmeta: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dataset.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/metrics.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/ops.rs:
+crates/dnn/src/quant.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

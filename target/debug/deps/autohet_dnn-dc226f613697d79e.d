@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/autohet_dnn-dc226f613697d79e.d: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/autohet_dnn-dc226f613697d79e: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dataset.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/metrics.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/ops.rs:
+crates/dnn/src/quant.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/zoo.rs:

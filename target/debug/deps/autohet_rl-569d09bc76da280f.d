@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/autohet_rl-569d09bc76da280f.d: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautohet_rl-569d09bc76da280f.rmeta: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs Cargo.toml
+
+crates/rl/src/lib.rs:
+crates/rl/src/ddpg.rs:
+crates/rl/src/dqn.rs:
+crates/rl/src/env.rs:
+crates/rl/src/matrix.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/noise.rs:
+crates/rl/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/autohet_rl-59de1fd39c908296.d: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+/root/repo/target/debug/deps/libautohet_rl-59de1fd39c908296.rlib: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+/root/repo/target/debug/deps/libautohet_rl-59de1fd39c908296.rmeta: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/ddpg.rs:
+crates/rl/src/dqn.rs:
+crates/rl/src/env.rs:
+crates/rl/src/matrix.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/noise.rs:
+crates/rl/src/replay.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/autohet_rl-e9826d2332e522e6.d: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+/root/repo/target/debug/deps/autohet_rl-e9826d2332e522e6: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/ddpg.rs:
+crates/rl/src/dqn.rs:
+crates/rl/src/env.rs:
+crates/rl/src/matrix.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/noise.rs:
+crates/rl/src/replay.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/autohet_serve-913ec1f8b0e0d4c3.d: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/autohet_serve-913ec1f8b0e0d4c3: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/deploy.rs:
+crates/serve/src/parallel.rs:
+crates/serve/src/report.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/workload.rs:

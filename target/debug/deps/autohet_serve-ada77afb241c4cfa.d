@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/autohet_serve-ada77afb241c4cfa.d: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/libautohet_serve-ada77afb241c4cfa.rlib: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/libautohet_serve-ada77afb241c4cfa.rmeta: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/deploy.rs:
+crates/serve/src/parallel.rs:
+crates/serve/src/report.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/autohet_serve-dfc8549554cedfcd.d: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautohet_serve-dfc8549554cedfcd.rmeta: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/deploy.rs:
+crates/serve/src/parallel.rs:
+crates/serve/src/report.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

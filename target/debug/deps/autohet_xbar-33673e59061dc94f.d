@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/autohet_xbar-33673e59061dc94f.d: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/area.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/dac.rs crates/xbar/src/energy.rs crates/xbar/src/geometry.rs crates/xbar/src/latency.rs crates/xbar/src/noise.rs crates/xbar/src/program_cost.rs crates/xbar/src/utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautohet_xbar-33673e59061dc94f.rmeta: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/area.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/dac.rs crates/xbar/src/energy.rs crates/xbar/src/geometry.rs crates/xbar/src/latency.rs crates/xbar/src/noise.rs crates/xbar/src/program_cost.rs crates/xbar/src/utilization.rs Cargo.toml
+
+crates/xbar/src/lib.rs:
+crates/xbar/src/adc.rs:
+crates/xbar/src/area.rs:
+crates/xbar/src/cost.rs:
+crates/xbar/src/crossbar.rs:
+crates/xbar/src/dac.rs:
+crates/xbar/src/energy.rs:
+crates/xbar/src/geometry.rs:
+crates/xbar/src/latency.rs:
+crates/xbar/src/noise.rs:
+crates/xbar/src/program_cost.rs:
+crates/xbar/src/utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

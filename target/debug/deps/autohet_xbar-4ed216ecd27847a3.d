@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/autohet_xbar-4ed216ecd27847a3.d: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/area.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/dac.rs crates/xbar/src/energy.rs crates/xbar/src/geometry.rs crates/xbar/src/latency.rs crates/xbar/src/noise.rs crates/xbar/src/program_cost.rs crates/xbar/src/utilization.rs
+
+/root/repo/target/debug/deps/libautohet_xbar-4ed216ecd27847a3.rlib: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/area.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/dac.rs crates/xbar/src/energy.rs crates/xbar/src/geometry.rs crates/xbar/src/latency.rs crates/xbar/src/noise.rs crates/xbar/src/program_cost.rs crates/xbar/src/utilization.rs
+
+/root/repo/target/debug/deps/libautohet_xbar-4ed216ecd27847a3.rmeta: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/area.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/dac.rs crates/xbar/src/energy.rs crates/xbar/src/geometry.rs crates/xbar/src/latency.rs crates/xbar/src/noise.rs crates/xbar/src/program_cost.rs crates/xbar/src/utilization.rs
+
+crates/xbar/src/lib.rs:
+crates/xbar/src/adc.rs:
+crates/xbar/src/area.rs:
+crates/xbar/src/cost.rs:
+crates/xbar/src/crossbar.rs:
+crates/xbar/src/dac.rs:
+crates/xbar/src/energy.rs:
+crates/xbar/src/geometry.rs:
+crates/xbar/src/latency.rs:
+crates/xbar/src/noise.rs:
+crates/xbar/src/program_cost.rs:
+crates/xbar/src/utilization.rs:

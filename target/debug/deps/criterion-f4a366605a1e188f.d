@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f4a366605a1e188f.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f4a366605a1e188f.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

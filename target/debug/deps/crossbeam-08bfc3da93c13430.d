@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-08bfc3da93c13430.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-08bfc3da93c13430.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

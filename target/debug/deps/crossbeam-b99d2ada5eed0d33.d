@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-b99d2ada5eed0d33.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b99d2ada5eed0d33.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b99d2ada5eed0d33.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

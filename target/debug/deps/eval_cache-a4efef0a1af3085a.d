@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_cache-a4efef0a1af3085a.d: crates/bench/benches/eval_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_cache-a4efef0a1af3085a.rmeta: crates/bench/benches/eval_cache.rs Cargo.toml
+
+crates/bench/benches/eval_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

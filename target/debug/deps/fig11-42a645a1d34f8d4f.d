@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-42a645a1d34f8d4f.d: crates/bench/benches/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-42a645a1d34f8d4f.rmeta: crates/bench/benches/fig11.rs Cargo.toml
+
+crates/bench/benches/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

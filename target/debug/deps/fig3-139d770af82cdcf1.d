@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-139d770af82cdcf1.d: crates/bench/benches/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-139d770af82cdcf1.rmeta: crates/bench/benches/fig3.rs Cargo.toml
+
+crates/bench/benches/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-816c57bf5550c496.d: crates/bench/benches/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-816c57bf5550c496.rmeta: crates/bench/benches/fig4.rs Cargo.toml
+
+crates/bench/benches/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

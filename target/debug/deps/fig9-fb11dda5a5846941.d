@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-fb11dda5a5846941.d: crates/bench/benches/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-fb11dda5a5846941.rmeta: crates/bench/benches/fig9.rs Cargo.toml
+
+crates/bench/benches/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_inference-54135b13aff54e2c.d: crates/autohet/../../tests/integration_inference.rs
+
+/root/repo/target/debug/deps/integration_inference-54135b13aff54e2c: crates/autohet/../../tests/integration_inference.rs
+
+crates/autohet/../../tests/integration_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_inference-54649e13cbb25615.d: crates/autohet/../../tests/integration_inference.rs
+
+/root/repo/target/debug/deps/integration_inference-54649e13cbb25615: crates/autohet/../../tests/integration_inference.rs
+
+crates/autohet/../../tests/integration_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_inference-8e98fe76e234a91e.d: crates/autohet/../../tests/integration_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_inference-8e98fe76e234a91e.rmeta: crates/autohet/../../tests/integration_inference.rs Cargo.toml
+
+crates/autohet/../../tests/integration_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mapping-6f67025d38b2c78b.d: crates/autohet/../../tests/integration_mapping.rs
+
+/root/repo/target/debug/deps/integration_mapping-6f67025d38b2c78b: crates/autohet/../../tests/integration_mapping.rs
+
+crates/autohet/../../tests/integration_mapping.rs:

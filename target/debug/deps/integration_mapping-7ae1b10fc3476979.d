@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mapping-7ae1b10fc3476979.d: crates/autohet/../../tests/integration_mapping.rs
+
+/root/repo/target/debug/deps/integration_mapping-7ae1b10fc3476979: crates/autohet/../../tests/integration_mapping.rs
+
+crates/autohet/../../tests/integration_mapping.rs:

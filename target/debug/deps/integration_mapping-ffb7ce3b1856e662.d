@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_mapping-ffb7ce3b1856e662.d: crates/autohet/../../tests/integration_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_mapping-ffb7ce3b1856e662.rmeta: crates/autohet/../../tests/integration_mapping.rs Cargo.toml
+
+crates/autohet/../../tests/integration_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

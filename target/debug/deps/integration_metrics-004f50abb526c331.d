@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_metrics-004f50abb526c331.d: crates/autohet/../../tests/integration_metrics.rs
+
+/root/repo/target/debug/deps/integration_metrics-004f50abb526c331: crates/autohet/../../tests/integration_metrics.rs
+
+crates/autohet/../../tests/integration_metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_metrics-1d89e788fb723706.d: crates/autohet/../../tests/integration_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_metrics-1d89e788fb723706.rmeta: crates/autohet/../../tests/integration_metrics.rs Cargo.toml
+
+crates/autohet/../../tests/integration_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

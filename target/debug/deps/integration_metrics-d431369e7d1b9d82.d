@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_metrics-d431369e7d1b9d82.d: crates/autohet/../../tests/integration_metrics.rs
+
+/root/repo/target/debug/deps/integration_metrics-d431369e7d1b9d82: crates/autohet/../../tests/integration_metrics.rs
+
+crates/autohet/../../tests/integration_metrics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_search-35b9ea0968adaaaf.d: crates/autohet/../../tests/integration_search.rs
+
+/root/repo/target/debug/deps/integration_search-35b9ea0968adaaaf: crates/autohet/../../tests/integration_search.rs
+
+crates/autohet/../../tests/integration_search.rs:

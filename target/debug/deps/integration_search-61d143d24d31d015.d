@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_search-61d143d24d31d015.d: crates/autohet/../../tests/integration_search.rs
+
+/root/repo/target/debug/deps/integration_search-61d143d24d31d015: crates/autohet/../../tests/integration_search.rs
+
+crates/autohet/../../tests/integration_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_search-c798c1f37e0c8bd5.d: crates/autohet/../../tests/integration_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_search-c798c1f37e0c8bd5.rmeta: crates/autohet/../../tests/integration_search.rs Cargo.toml
+
+crates/autohet/../../tests/integration_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_serving-6aa2109c9b6ce7e0.d: crates/autohet/../../tests/integration_serving.rs
+
+/root/repo/target/debug/deps/integration_serving-6aa2109c9b6ce7e0: crates/autohet/../../tests/integration_serving.rs
+
+crates/autohet/../../tests/integration_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_serving-973e509528eacb42.d: crates/autohet/../../tests/integration_serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_serving-973e509528eacb42.rmeta: crates/autohet/../../tests/integration_serving.rs Cargo.toml
+
+crates/autohet/../../tests/integration_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

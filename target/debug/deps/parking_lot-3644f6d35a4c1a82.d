@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-3644f6d35a4c1a82.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3644f6d35a4c1a82.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3644f6d35a4c1a82.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

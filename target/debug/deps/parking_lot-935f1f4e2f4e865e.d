@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-935f1f4e2f4e865e.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-935f1f4e2f4e865e.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-493c79ab5ed03fe4.d: crates/autohet/../../tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-493c79ab5ed03fe4: crates/autohet/../../tests/prop_invariants.rs
+
+crates/autohet/../../tests/prop_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-bcb4897f08e4cf8a.d: crates/autohet/../../tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-bcb4897f08e4cf8a.rmeta: crates/autohet/../../tests/prop_invariants.rs Cargo.toml
+
+crates/autohet/../../tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

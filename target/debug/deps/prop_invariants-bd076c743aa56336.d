@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-bd076c743aa56336.d: crates/autohet/../../tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-bd076c743aa56336: crates/autohet/../../tests/prop_invariants.rs
+
+crates/autohet/../../tests/prop_invariants.rs:

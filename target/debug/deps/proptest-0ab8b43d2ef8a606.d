@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0ab8b43d2ef8a606.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0ab8b43d2ef8a606.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0ab8b43d2ef8a606.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

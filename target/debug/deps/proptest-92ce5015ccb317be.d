@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-92ce5015ccb317be.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-92ce5015ccb317be.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ec10675cd4baa6c8.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ec10675cd4baa6c8.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ec10675cd4baa6c8.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

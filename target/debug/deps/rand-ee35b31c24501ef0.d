@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ee35b31c24501ef0.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ee35b31c24501ef0.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-02a10990f77d7de4.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-02a10990f77d7de4.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

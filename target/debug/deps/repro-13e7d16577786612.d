@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-13e7d16577786612.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-13e7d16577786612: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-691906924d0b3155.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-691906924d0b3155: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

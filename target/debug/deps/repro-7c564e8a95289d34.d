@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7c564e8a95289d34.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7c564e8a95289d34: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

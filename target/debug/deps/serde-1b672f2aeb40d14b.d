@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-1b672f2aeb40d14b.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1b672f2aeb40d14b.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1b672f2aeb40d14b.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-ed312723de7e9602.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ed312723de7e9602.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-844065f439f038fd.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-844065f439f038fd.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

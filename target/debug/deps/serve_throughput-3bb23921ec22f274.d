@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_throughput-3bb23921ec22f274.d: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_throughput-3bb23921ec22f274.rmeta: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+crates/bench/benches/serve_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

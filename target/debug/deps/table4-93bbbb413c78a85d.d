@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-93bbbb413c78a85d.d: crates/bench/benches/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-93bbbb413c78a85d.rmeta: crates/bench/benches/table4.rs Cargo.toml
+
+crates/bench/benches/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

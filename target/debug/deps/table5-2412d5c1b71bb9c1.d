@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-2412d5c1b71bb9c1.d: crates/bench/benches/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-2412d5c1b71bb9c1.rmeta: crates/bench/benches/table5.rs Cargo.toml
+
+crates/bench/benches/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

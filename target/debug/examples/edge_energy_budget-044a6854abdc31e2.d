@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_energy_budget-044a6854abdc31e2.d: crates/autohet/../../examples/edge_energy_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_energy_budget-044a6854abdc31e2.rmeta: crates/autohet/../../examples/edge_energy_budget.rs Cargo.toml
+
+crates/autohet/../../examples/edge_energy_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

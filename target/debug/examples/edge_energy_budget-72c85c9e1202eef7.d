@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_energy_budget-72c85c9e1202eef7.d: crates/autohet/../../examples/edge_energy_budget.rs
+
+/root/repo/target/debug/examples/edge_energy_budget-72c85c9e1202eef7: crates/autohet/../../examples/edge_energy_budget.rs
+
+crates/autohet/../../examples/edge_energy_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_energy_budget-d57a15b76e83e3bd.d: crates/autohet/../../examples/edge_energy_budget.rs
+
+/root/repo/target/debug/examples/edge_energy_budget-d57a15b76e83e3bd: crates/autohet/../../examples/edge_energy_budget.rs
+
+crates/autohet/../../examples/edge_energy_budget.rs:

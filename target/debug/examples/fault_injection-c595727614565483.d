@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-c595727614565483.d: crates/autohet/../../examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-c595727614565483: crates/autohet/../../examples/fault_injection.rs
+
+crates/autohet/../../examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-cafb33c6a228a7e0.d: crates/autohet/../../examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-cafb33c6a228a7e0: crates/autohet/../../examples/fault_injection.rs
+
+crates/autohet/../../examples/fault_injection.rs:

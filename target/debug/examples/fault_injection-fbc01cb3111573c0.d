@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_injection-fbc01cb3111573c0.d: crates/autohet/../../examples/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_injection-fbc01cb3111573c0.rmeta: crates/autohet/../../examples/fault_injection.rs Cargo.toml
+
+crates/autohet/../../examples/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/functional_inference-713e98d3132bf2b3.d: crates/autohet/../../examples/functional_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfunctional_inference-713e98d3132bf2b3.rmeta: crates/autohet/../../examples/functional_inference.rs Cargo.toml
+
+crates/autohet/../../examples/functional_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/functional_inference-add7ba658e89f558.d: crates/autohet/../../examples/functional_inference.rs
+
+/root/repo/target/debug/examples/functional_inference-add7ba658e89f558: crates/autohet/../../examples/functional_inference.rs
+
+crates/autohet/../../examples/functional_inference.rs:

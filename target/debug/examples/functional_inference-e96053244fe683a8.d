@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/functional_inference-e96053244fe683a8.d: crates/autohet/../../examples/functional_inference.rs
+
+/root/repo/target/debug/examples/functional_inference-e96053244fe683a8: crates/autohet/../../examples/functional_inference.rs
+
+crates/autohet/../../examples/functional_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant-7d8647c5dbbd53fb.d: crates/autohet/../../examples/multi_tenant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant-7d8647c5dbbd53fb.rmeta: crates/autohet/../../examples/multi_tenant.rs Cargo.toml
+
+crates/autohet/../../examples/multi_tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

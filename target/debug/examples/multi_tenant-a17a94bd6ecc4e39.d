@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-a17a94bd6ecc4e39.d: crates/autohet/../../examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-a17a94bd6ecc4e39: crates/autohet/../../examples/multi_tenant.rs
+
+crates/autohet/../../examples/multi_tenant.rs:

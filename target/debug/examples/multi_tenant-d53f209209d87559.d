@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-d53f209209d87559.d: crates/autohet/../../examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-d53f209209d87559: crates/autohet/../../examples/multi_tenant.rs
+
+crates/autohet/../../examples/multi_tenant.rs:

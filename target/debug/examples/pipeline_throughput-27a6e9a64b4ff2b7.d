@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_throughput-27a6e9a64b4ff2b7.d: crates/autohet/../../examples/pipeline_throughput.rs
+
+/root/repo/target/debug/examples/pipeline_throughput-27a6e9a64b4ff2b7: crates/autohet/../../examples/pipeline_throughput.rs
+
+crates/autohet/../../examples/pipeline_throughput.rs:

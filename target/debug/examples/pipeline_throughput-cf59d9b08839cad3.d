@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_throughput-cf59d9b08839cad3.d: crates/autohet/../../examples/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_throughput-cf59d9b08839cad3.rmeta: crates/autohet/../../examples/pipeline_throughput.rs Cargo.toml
+
+crates/autohet/../../examples/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

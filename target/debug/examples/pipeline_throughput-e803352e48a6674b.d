@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_throughput-e803352e48a6674b.d: crates/autohet/../../examples/pipeline_throughput.rs
+
+/root/repo/target/debug/examples/pipeline_throughput-e803352e48a6674b: crates/autohet/../../examples/pipeline_throughput.rs
+
+crates/autohet/../../examples/pipeline_throughput.rs:

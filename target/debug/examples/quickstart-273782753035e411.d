@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-273782753035e411.d: crates/autohet/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-273782753035e411: crates/autohet/../../examples/quickstart.rs
+
+crates/autohet/../../examples/quickstart.rs:

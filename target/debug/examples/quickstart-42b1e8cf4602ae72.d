@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-42b1e8cf4602ae72.d: crates/autohet/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-42b1e8cf4602ae72: crates/autohet/../../examples/quickstart.rs
+
+crates/autohet/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e40e59e04c4233dd.d: crates/autohet/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e40e59e04c4233dd.rmeta: crates/autohet/../../examples/quickstart.rs Cargo.toml
+
+crates/autohet/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

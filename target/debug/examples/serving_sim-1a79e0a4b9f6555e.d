@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serving_sim-1a79e0a4b9f6555e.d: crates/autohet/../../examples/serving_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserving_sim-1a79e0a4b9f6555e.rmeta: crates/autohet/../../examples/serving_sim.rs Cargo.toml
+
+crates/autohet/../../examples/serving_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving_sim-28a1f8ce77fba5d8.d: crates/autohet/../../examples/serving_sim.rs
+
+/root/repo/target/debug/examples/serving_sim-28a1f8ce77fba5d8: crates/autohet/../../examples/serving_sim.rs
+
+crates/autohet/../../examples/serving_sim.rs:

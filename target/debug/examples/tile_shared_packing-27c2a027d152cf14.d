@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tile_shared_packing-27c2a027d152cf14.d: crates/autohet/../../examples/tile_shared_packing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtile_shared_packing-27c2a027d152cf14.rmeta: crates/autohet/../../examples/tile_shared_packing.rs Cargo.toml
+
+crates/autohet/../../examples/tile_shared_packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tile_shared_packing-33a371aa46cba82e.d: crates/autohet/../../examples/tile_shared_packing.rs
+
+/root/repo/target/debug/examples/tile_shared_packing-33a371aa46cba82e: crates/autohet/../../examples/tile_shared_packing.rs
+
+crates/autohet/../../examples/tile_shared_packing.rs:

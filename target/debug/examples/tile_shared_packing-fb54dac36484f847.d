@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tile_shared_packing-fb54dac36484f847.d: crates/autohet/../../examples/tile_shared_packing.rs
+
+/root/repo/target/debug/examples/tile_shared_packing-fb54dac36484f847: crates/autohet/../../examples/tile_shared_packing.rs
+
+crates/autohet/../../examples/tile_shared_packing.rs:

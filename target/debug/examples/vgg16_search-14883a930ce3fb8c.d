@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vgg16_search-14883a930ce3fb8c.d: crates/autohet/../../examples/vgg16_search.rs
+
+/root/repo/target/debug/examples/vgg16_search-14883a930ce3fb8c: crates/autohet/../../examples/vgg16_search.rs
+
+crates/autohet/../../examples/vgg16_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vgg16_search-664676b134fd8568.d: crates/autohet/../../examples/vgg16_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvgg16_search-664676b134fd8568.rmeta: crates/autohet/../../examples/vgg16_search.rs Cargo.toml
+
+crates/autohet/../../examples/vgg16_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vgg16_search-dfe7ce76b9e0e676.d: crates/autohet/../../examples/vgg16_search.rs
+
+/root/repo/target/debug/examples/vgg16_search-dfe7ce76b9e0e676: crates/autohet/../../examples/vgg16_search.rs
+
+crates/autohet/../../examples/vgg16_search.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/autohet_accel-6791ad2c6c0ac979.d: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs
+
+/root/repo/target/release/deps/libautohet_accel-6791ad2c6c0ac979.rlib: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs
+
+/root/repo/target/release/deps/libautohet_accel-6791ad2c6c0ac979.rmeta: crates/accel/src/lib.rs crates/accel/src/alloc.rs crates/accel/src/controller.rs crates/accel/src/engine.rs crates/accel/src/hierarchy.rs crates/accel/src/mapping.rs crates/accel/src/metrics.rs crates/accel/src/noc.rs crates/accel/src/pipeline.rs crates/accel/src/tile_shared.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/alloc.rs:
+crates/accel/src/controller.rs:
+crates/accel/src/engine.rs:
+crates/accel/src/hierarchy.rs:
+crates/accel/src/mapping.rs:
+crates/accel/src/metrics.rs:
+crates/accel/src/noc.rs:
+crates/accel/src/pipeline.rs:
+crates/accel/src/tile_shared.rs:

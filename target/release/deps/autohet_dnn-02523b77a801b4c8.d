@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/autohet_dnn-02523b77a801b4c8.d: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libautohet_dnn-02523b77a801b4c8.rlib: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libautohet_dnn-02523b77a801b4c8.rmeta: crates/dnn/src/lib.rs crates/dnn/src/dataset.rs crates/dnn/src/layer.rs crates/dnn/src/metrics.rs crates/dnn/src/model.rs crates/dnn/src/ops.rs crates/dnn/src/quant.rs crates/dnn/src/tensor.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dataset.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/metrics.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/ops.rs:
+crates/dnn/src/quant.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/zoo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/autohet_rl-4d8463861a25ccdc.d: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+/root/repo/target/release/deps/libautohet_rl-4d8463861a25ccdc.rlib: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+/root/repo/target/release/deps/libautohet_rl-4d8463861a25ccdc.rmeta: crates/rl/src/lib.rs crates/rl/src/ddpg.rs crates/rl/src/dqn.rs crates/rl/src/env.rs crates/rl/src/matrix.rs crates/rl/src/nn.rs crates/rl/src/noise.rs crates/rl/src/replay.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/ddpg.rs:
+crates/rl/src/dqn.rs:
+crates/rl/src/env.rs:
+crates/rl/src/matrix.rs:
+crates/rl/src/nn.rs:
+crates/rl/src/noise.rs:
+crates/rl/src/replay.rs:

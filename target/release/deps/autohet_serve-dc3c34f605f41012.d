@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/autohet_serve-dc3c34f605f41012.d: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/libautohet_serve-dc3c34f605f41012.rlib: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/libautohet_serve-dc3c34f605f41012.rmeta: crates/serve/src/lib.rs crates/serve/src/deploy.rs crates/serve/src/parallel.rs crates/serve/src/report.rs crates/serve/src/sim.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/deploy.rs:
+crates/serve/src/parallel.rs:
+crates/serve/src/report.rs:
+crates/serve/src/sim.rs:
+crates/serve/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f2253ab5a6d7bfcf.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f2253ab5a6d7bfcf.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f2253ab5a6d7bfcf.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

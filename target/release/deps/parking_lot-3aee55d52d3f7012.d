@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-3aee55d52d3f7012.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3aee55d52d3f7012.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3aee55d52d3f7012.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

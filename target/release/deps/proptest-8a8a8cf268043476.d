@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-8a8a8cf268043476.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8a8a8cf268043476.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8a8a8cf268043476.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

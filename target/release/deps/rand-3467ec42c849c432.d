@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3467ec42c849c432.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3467ec42c849c432.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3467ec42c849c432.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

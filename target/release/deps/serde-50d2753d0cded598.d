@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-50d2753d0cded598.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-50d2753d0cded598.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-50d2753d0cded598.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-5e1ea3d111856e93.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-5e1ea3d111856e93.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

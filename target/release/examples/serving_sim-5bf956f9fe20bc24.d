@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving_sim-5bf956f9fe20bc24.d: crates/autohet/../../examples/serving_sim.rs
+
+/root/repo/target/release/examples/serving_sim-5bf956f9fe20bc24: crates/autohet/../../examples/serving_sim.rs
+
+crates/autohet/../../examples/serving_sim.rs:
