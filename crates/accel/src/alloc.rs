@@ -205,7 +205,11 @@ mod tests {
     fn occupancy_matches_footprints() {
         let m = zoo::alexnet();
         let alloc = allocate_tile_based(&m, &uniform(&m, XbarShape::square(128)), 8);
-        let occupied: u64 = alloc.per_layer.iter().map(|p| p.footprint.total_xbars()).sum();
+        let occupied: u64 = alloc
+            .per_layer
+            .iter()
+            .map(|p| p.footprint.total_xbars())
+            .sum();
         assert_eq!(alloc.occupied_xbars(), occupied);
         assert!(alloc.allocated_xbars() >= occupied);
         assert_eq!(

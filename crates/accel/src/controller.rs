@@ -43,7 +43,11 @@ impl MappedLayer {
     /// program them across a grid of `shape` crossbars.
     pub fn program(layer: &Layer, shape: XbarShape, weights: &Tensor, p: &CostParams) -> Self {
         let (er, ec) = layer.kernel_matrix_shape();
-        assert_eq!(weights.shape(), &[er, ec], "weights must be the kernel matrix");
+        assert_eq!(
+            weights.shape(),
+            &[er, ec],
+            "weights must be the kernel matrix"
+        );
         if layer.kind == LayerKind::DepthwiseConv {
             return Self::program_depthwise(layer, shape, weights, p);
         }
@@ -151,9 +155,7 @@ impl MappedLayer {
         if self.diagonal {
             // Depthwise: crossbar i independently produces the channels of
             // its chunk — no cross-crossbar partial sums.
-            for (i, (rrange, crange)) in
-                self.row_ranges.iter().zip(&self.col_ranges).enumerate()
-            {
+            for (i, (rrange, crange)) in self.row_ranges.iter().zip(&self.col_ranges).enumerate() {
                 let partial = self.grid[i][0].mvm(&input_q[rrange.clone()], adc);
                 for (j, v) in partial.into_iter().enumerate() {
                     out[crange.start + j] = v;
@@ -281,7 +283,9 @@ impl MappedModel {
             }
         })
         .expect("inference worker panicked");
-        out.into_iter().map(|t| t.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|t| t.expect("all slots filled"))
+            .collect()
     }
 
     /// Execute one mapped layer on an activation tensor.
@@ -290,11 +294,7 @@ impl MappedModel {
         // Unsigned activation quantizer: activations are non-negative
         // (input image in [0,1), ReLU after every hidden layer).
         let amax = act.max_abs();
-        let xscale = if amax == 0.0 {
-            1.0
-        } else {
-            amax / 255.0
-        };
+        let xscale = if amax == 0.0 { 1.0 } else { amax / 255.0 };
         let rescale = ml.w_quant.scale * xscale;
 
         match layer.kind {
@@ -319,7 +319,11 @@ impl MappedModel {
             }
             LayerKind::Fc => {
                 assert_eq!(act.len(), layer.weight_rows(), "fc input size mismatch");
-                let xq: Vec<u8> = act.data().iter().map(|&v| quantize_act(v, xscale)).collect();
+                let xq: Vec<u8> = act
+                    .data()
+                    .iter()
+                    .map(|&v| quantize_act(v, xscale))
+                    .collect();
                 let y = ml.mvm(&xq, &self.adc);
                 Tensor::from_vec(
                     vec![layer.out_channels],
@@ -362,7 +366,11 @@ mod tests {
             let xi: Vec<i32> = input.iter().map(|&x| x as i32).collect();
             mvm_i32(&wq, &xi).into_iter().map(i64::from).collect()
         };
-        for shape in [XbarShape::square(32), XbarShape::new(36, 32), XbarShape::square(128)] {
+        for shape in [
+            XbarShape::square(32),
+            XbarShape::new(36, 32),
+            XbarShape::square(128),
+        ] {
             let ml = MappedLayer::program(&layer, shape, &w, &params());
             assert_eq!(ml.mvm(&input, &Adc::new(10)), expect, "shape {shape}");
         }
@@ -399,9 +407,7 @@ mod tests {
                 Stage::Layer(i) => {
                     let l = &m.layers[i];
                     act = match l.kind {
-                        LayerKind::DepthwiseConv => {
-                            ops::depthwise_conv2d(l, &act, &weights[i])
-                        }
+                        LayerKind::DepthwiseConv => ops::depthwise_conv2d(l, &act, &weights[i]),
                         LayerKind::Conv => ops::conv2d(l, &act, &weights[i]),
                         LayerKind::Fc => Tensor::from_vec(
                             vec![l.out_channels],
@@ -440,10 +446,12 @@ mod tests {
         );
         let b = MappedModel::program_synthetic(
             &m,
-            &[XbarShape::new(36, 32),
+            &[
+                XbarShape::new(36, 32),
                 XbarShape::square(128),
                 XbarShape::new(72, 64),
-                XbarShape::square(512)],
+                XbarShape::square(512),
+            ],
             7,
             params(),
         );
@@ -463,12 +471,7 @@ mod tests {
             layers: vec![m.layers[155]], // the FC head alone
             stages: vec![],
         };
-        let mm = MappedModel::program_synthetic(
-            &tiny,
-            &strategy[..1],
-            0,
-            params(),
-        );
+        let mm = MappedModel::program_synthetic(&tiny, &strategy[..1], 0, params());
         let _ = mm.infer(&Dataset::Mnist.synthetic_image(0));
     }
 
@@ -517,9 +520,7 @@ mod tests {
                 Stage::Layer(i) => {
                     let l = &m.layers[i];
                     act = match l.kind {
-                        LayerKind::DepthwiseConv => {
-                            ops::depthwise_conv2d(l, &act, &weights[i])
-                        }
+                        LayerKind::DepthwiseConv => ops::depthwise_conv2d(l, &act, &weights[i]),
                         LayerKind::Conv => ops::conv2d(l, &act, &weights[i]),
                         LayerKind::Fc => Tensor::from_vec(
                             vec![l.out_channels],

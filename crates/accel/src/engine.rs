@@ -23,9 +23,12 @@
 use crate::alloc::{allocation_from_placements, placement_for, LayerPlacement};
 use crate::hierarchy::AccelConfig;
 use crate::metrics::{compose_report, layer_cost, EvalReport, LayerCost};
+use crate::repair::{repair_allocation, RepairPolicy, RepairReport};
 use crate::tile_shared::apply_tile_sharing;
 use autohet_dnn::Model;
-use autohet_xbar::XbarShape;
+use autohet_xbar::energy::static_power;
+use autohet_xbar::fault::{FaultMap, FaultRates};
+use autohet_xbar::{area, XbarShape};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -113,6 +116,24 @@ impl EngineStats {
             layer_misses: self.layer_misses.saturating_sub(earlier.layer_misses),
         }
     }
+}
+
+/// Evaluation of a strategy on faulted hardware: the repaired mapping's
+/// metrics plus the repair outcome that produced them. Produced by
+/// [`EvalEngine::evaluate_faulted`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultedEvalReport {
+    /// Metrics of the repaired allocation (latency factors, spare area,
+    /// and spare leakage folded in).
+    pub eval: EvalReport,
+    /// What the repair did (spared / remapped / degraded, per-layer damage).
+    pub repair: RepairReport,
+    /// Seed the fault map was sampled with.
+    pub seed: u64,
+    /// Fault rates the map was sampled with.
+    pub rates: FaultRates,
+    /// Crossbar-weighted model fidelity proxy in `[0, 1]` (1 = exact).
+    pub fidelity: f64,
 }
 
 /// Memoized evaluator for one `(model, config)` pair.
@@ -241,6 +262,76 @@ impl EvalEngine {
         s
     }
 
+    /// Evaluate `strategy` on *faulted* hardware: build the allocation
+    /// (sharing included per the config), sample a [`FaultMap`] for its
+    /// tile array from `(seed, rates)`, repair it under `policy`, then
+    /// re-evaluate the repaired mapping.
+    ///
+    /// The returned metrics account for the repair outcome:
+    /// - re-serialized layers carry their latency factor (which also
+    ///   lengthens the leakage window),
+    /// - provisioned spares cost area whether or not they are used,
+    /// - activated spares additionally leak for the whole inference,
+    /// - dead components conservatively stay on the power rail.
+    ///
+    /// With `rates == FaultRates::ideal()` and zero spares the result's
+    /// `eval` is bit-identical to [`EvalEngine::evaluate`]. The fault
+    /// sampling is nested in the rate (see [`autohet_xbar::fault`]), so
+    /// for one seed fidelity is antitone as rates rise, and latency is
+    /// monotone while fidelity stays 1 (a fully lost layer stops
+    /// computing: its latency contribution vanishes as fidelity
+    /// collapses). Results are not cached: each call re-samples and
+    /// re-repairs.
+    pub fn evaluate_faulted(
+        &self,
+        strategy: &[XbarShape],
+        seed: u64,
+        rates: FaultRates,
+        policy: &RepairPolicy,
+    ) -> FaultedEvalReport {
+        assert_eq!(
+            strategy.len(),
+            self.model.layers.len(),
+            "strategy length must match layer count"
+        );
+        let mut per_layer = Vec::with_capacity(strategy.len());
+        let mut costs = Vec::with_capacity(strategy.len());
+        for (position, &shape) in strategy.iter().enumerate() {
+            let s = self.slice(position, shape);
+            per_layer.push(s.placement);
+            costs.push(s.cost);
+        }
+        let mut alloc = allocation_from_placements(per_layer, self.cfg.pes_per_tile);
+        let sharing = self.cfg.tile_shared.then(|| apply_tile_sharing(&mut alloc));
+        let capacities: Vec<u32> = alloc.tiles.iter().map(|t| t.capacity).collect();
+        let faults = FaultMap::sample(seed, rates, &capacities, policy.spares_per_tile);
+        let repair = repair_allocation(&mut alloc, &faults, policy);
+        for (pl, c) in alloc.per_layer.iter().zip(costs.iter_mut()) {
+            c.latency_ns *= repair.latency_factor(pl.layer_index);
+        }
+        let mut eval = compose_report(&self.model, &alloc, sharing, &self.cfg, &costs);
+        let p = &self.cfg.cost;
+        for &(shape, n) in &repair.spares_by_shape {
+            eval.area_um2 += area::crossbar_area(n, shape, p);
+        }
+        for &(shape, n) in &repair.activated_by_shape {
+            eval.energy.leakage += static_power(n, shape, p) * eval.latency_ns * 1e-9;
+        }
+        let totals: Vec<u64> = alloc
+            .per_layer
+            .iter()
+            .map(|pl| pl.footprint.total_xbars())
+            .collect();
+        let fidelity = repair.model_fidelity(&totals);
+        FaultedEvalReport {
+            eval,
+            repair,
+            seed,
+            rates,
+            fidelity,
+        }
+    }
+
     fn compose(&self, strategy: &[XbarShape]) -> EvalReport {
         assert_eq!(
             strategy.len(),
@@ -323,7 +414,11 @@ mod tests {
         }
         let stats = engine.stats();
         let pairs = (m.layers.len() * cands.len()) as u64;
-        assert!(stats.layer_misses <= pairs, "{} > {pairs}", stats.layer_misses);
+        assert!(
+            stats.layer_misses <= pairs,
+            "{} > {pairs}",
+            stats.layer_misses
+        );
         assert!(stats.layer_hits > 0);
         let lookups = 20 * m.layers.len() as u64;
         assert_eq!(stats.layer_hits + stats.layer_misses, lookups);
@@ -393,6 +488,83 @@ mod tests {
         assert_eq!(fork.stats(), engine.stats());
         fork.evaluate(&rotating_strategy(&m, 0)); // hit from copied cache
         assert_eq!(fork.stats().strategy_hits, engine.stats().strategy_hits + 1);
+    }
+
+    #[test]
+    fn ideal_faults_reproduce_the_healthy_evaluation_bit_for_bit() {
+        let m = zoo::alexnet();
+        for cfg in [
+            AccelConfig::default(),
+            AccelConfig::default().with_tile_sharing(),
+        ] {
+            let engine = EvalEngine::new(m.clone(), cfg);
+            let s = rotating_strategy(&m, 0);
+            let healthy = engine.evaluate(&s);
+            let policy =
+                crate::repair::RepairPolicy::no_spares(crate::repair::DegradationMode::Reserialize);
+            let faulted = engine.evaluate_faulted(&s, 42, FaultRates::ideal(), &policy);
+            assert_eq!(faulted.eval, healthy);
+            assert!(faulted.repair.is_clean());
+            assert_eq!(faulted.fidelity, 1.0);
+        }
+    }
+
+    #[test]
+    fn faulted_evaluation_is_deterministic_in_the_seed() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default().with_tile_sharing());
+        let s = rotating_strategy(&m, 2);
+        let policy = crate::repair::RepairPolicy::default();
+        let a = engine.evaluate_faulted(&s, 9, FaultRates::dead(0.2), &policy);
+        let b = engine.evaluate_faulted(&s, 9, FaultRates::dead(0.2), &policy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rising_fault_rates_never_improve_latency_or_fidelity() {
+        // Nested sampling makes this exact per seed, not just expected.
+        let m = zoo::alexnet();
+        for cfg in [
+            AccelConfig::default(),
+            AccelConfig::default().with_tile_sharing(),
+        ] {
+            let engine = EvalEngine::new(m.clone(), cfg);
+            let s = rotating_strategy(&m, 1);
+            let policy = crate::repair::RepairPolicy::default();
+            for seed in [1u64, 7, 23] {
+                let mut prev_latency = 0.0f64;
+                let mut prev_fidelity = 1.0f64;
+                for rate in [0.0, 0.05, 0.15, 0.3] {
+                    let r = engine.evaluate_faulted(&s, seed, FaultRates::dead(rate), &policy);
+                    // Latency is monotone while every layer still computes;
+                    // a fully lost layer drops out of the pipeline (its
+                    // cost disappears but fidelity collapses), so gate the
+                    // latency check on fidelity.
+                    if r.fidelity == 1.0 {
+                        assert!(
+                            r.eval.latency_ns >= prev_latency,
+                            "latency shrank at rate {rate}"
+                        );
+                        prev_latency = r.eval.latency_ns;
+                    }
+                    assert!(r.fidelity <= prev_fidelity, "fidelity rose at rate {rate}");
+                    prev_fidelity = r.fidelity;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn provisioned_spares_cost_area_even_when_idle() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default());
+        let s = rotating_strategy(&m, 0);
+        let healthy = engine.evaluate(&s);
+        let policy = crate::repair::RepairPolicy::default().with_spares(2);
+        let faulted = engine.evaluate_faulted(&s, 0, FaultRates::ideal(), &policy);
+        assert!(faulted.eval.area_um2 > healthy.area_um2);
+        // Idle spares do not leak.
+        assert_eq!(faulted.eval.energy_nj(), healthy.energy_nj());
     }
 
     #[test]

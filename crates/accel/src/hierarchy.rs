@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = AccelConfig::default().with_tile_sharing().with_pes_per_tile(16);
+        let c = AccelConfig::default()
+            .with_tile_sharing()
+            .with_pes_per_tile(16);
         assert!(c.tile_shared);
         assert_eq!(c.pes_per_tile, 16);
     }

@@ -21,6 +21,9 @@
 //!   while staying bit-identical to [`metrics::evaluate`].
 //! - [`controller`]: the global controller — programs weights into
 //!   functional crossbars and runs *numerical* inference through them.
+//! - [`repair`]: repair-aware remapping of an allocation onto faulted
+//!   hardware (spares → remap → documented degradation), consumed by
+//!   [`engine::EvalEngine::evaluate_faulted`].
 
 pub mod alloc;
 pub mod controller;
@@ -30,14 +33,16 @@ pub mod mapping;
 pub mod metrics;
 pub mod noc;
 pub mod pipeline;
+pub mod repair;
 pub mod tile_shared;
 
 pub use alloc::{allocate_tile_based, allocation_from_placements, Allocation, LayerPlacement};
 pub use controller::{MappedLayer, MappedModel};
-pub use engine::{EngineStats, EvalEngine};
+pub use engine::{EngineStats, EvalEngine, FaultedEvalReport};
 pub use hierarchy::{AccelConfig, Tile};
 pub use metrics::{evaluate, EvalReport, LayerCost, LayerReport};
 pub use pipeline::{
     balance_replication, pipeline_report, replicated_stages, PipelineReport, ReplicationPlan,
 };
+pub use repair::{repair_allocation, DegradationMode, LayerDamage, RepairPolicy, RepairReport};
 pub use tile_shared::apply_tile_sharing;

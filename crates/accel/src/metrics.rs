@@ -327,8 +327,16 @@ mod tests {
         // RUE within a few orders of the paper's 1e-5 scale.
         let m = zoo::vgg16();
         let r = evaluate_homogeneous(&m, XbarShape::square(512), &cfg());
-        assert!(r.latency_ns > 1e6 && r.latency_ns < 1e7, "latency {}", r.latency_ns);
-        assert!(r.energy_nj() > 1e5 && r.energy_nj() < 1e9, "energy {}", r.energy_nj());
+        assert!(
+            r.latency_ns > 1e6 && r.latency_ns < 1e7,
+            "latency {}",
+            r.latency_ns
+        );
+        assert!(
+            r.energy_nj() > 1e5 && r.energy_nj() < 1e9,
+            "energy {}",
+            r.energy_nj()
+        );
     }
 
     #[test]

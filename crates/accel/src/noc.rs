@@ -56,7 +56,9 @@ pub struct MeshPlacement {
 /// Place tiles row-major on the smallest square mesh that fits them.
 pub fn place_row_major(n_tiles: usize) -> MeshPlacement {
     let side = (n_tiles as f64).sqrt().ceil() as usize;
-    let coords = (0..n_tiles).map(|i| (i % side.max(1), i / side.max(1))).collect();
+    let coords = (0..n_tiles)
+        .map(|i| (i % side.max(1), i / side.max(1)))
+        .collect();
     MeshPlacement { side, coords }
 }
 
@@ -158,7 +160,12 @@ mod tests {
         let large = allocate_tile_based(&m, &vec![XbarShape::square(512); m.layers.len()], 4);
         let rs = evaluate_noc(&m, &small, &p);
         let rl = evaluate_noc(&m, &large, &p);
-        assert!(rs.byte_hops > rl.byte_hops, "{} vs {}", rs.byte_hops, rl.byte_hops);
+        assert!(
+            rs.byte_hops > rl.byte_hops,
+            "{} vs {}",
+            rs.byte_hops,
+            rl.byte_hops
+        );
         assert!(rs.energy_nj > rl.energy_nj);
     }
 

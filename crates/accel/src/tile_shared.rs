@@ -202,7 +202,9 @@ mod tests {
 
     #[test]
     fn conserves_occupied_crossbars() {
-        let mut tiles: Vec<Tile> = (0..37).map(|i| tile_with(i, (i * 7 % 4 + 1) as u32)).collect();
+        let mut tiles: Vec<Tile> = (0..37)
+            .map(|i| tile_with(i, (i * 7 % 4 + 1) as u32))
+            .collect();
         let before: u32 = tiles.iter().map(Tile::occupied).sum();
         let _ = combine_group(&mut tiles);
         let after: u32 = tiles.iter().map(Tile::occupied).sum();
@@ -243,9 +245,7 @@ mod tests {
     #[test]
     fn cross_model_sharing_frees_at_least_as_much_as_separate_sharing() {
         let shape = XbarShape::new(72, 64);
-        let make = |m: &autohet_dnn::Model| {
-            allocate_tile_based(m, &vec![shape; m.layers.len()], 4)
-        };
+        let make = |m: &autohet_dnn::Model| allocate_tile_based(m, &vec![shape; m.layers.len()], 4);
         let a = make(&zoo::alexnet());
         let b = make(&zoo::micro_cnn());
         // Separate sharing.

@@ -202,6 +202,9 @@ mod tests {
     fn all_stage_uses_tile_sharing() {
         let m = autohet_dnn::zoo::micro_cnn();
         let results = run_ablation(&m, &quick());
-        assert!(results[3].report.sharing.is_some() || results[3].report.tiles <= results[2].report.tiles);
+        assert!(
+            results[3].report.sharing.is_some()
+                || results[3].report.tiles <= results[2].report.tiles
+        );
     }
 }

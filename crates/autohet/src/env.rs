@@ -97,7 +97,10 @@ impl AutoHetEnv {
             weights: fm.weights as f64,
             ins: fm.in_size as f64,
         };
-        assert!(weights.0 > 0.0 && weights.1 > 0.0, "exponents must be positive");
+        assert!(
+            weights.0 > 0.0 && weights.1 > 0.0,
+            "exponents must be positive"
+        );
         let mut env = AutoHetEnv {
             model: model.clone(),
             candidates: candidates.to_vec(),
@@ -291,17 +294,18 @@ mod tests {
         assert_eq!(e.evaluate_strategy(&strategy), direct);
         assert_eq!(e.evaluate_strategy(&strategy), direct);
         let delta = e.engine().stats().since(&before);
-        assert!(delta.strategy_hits >= 1, "repeat evaluation should hit the cache");
+        assert!(
+            delta.strategy_hits >= 1,
+            "repeat evaluation should hit the cache"
+        );
     }
 
     #[test]
     fn layer_utilization_matches_eq4() {
         let e = env();
         let u = e.layer_utilization(0, 0.0);
-        let direct = autohet_xbar::utilization::utilization(
-            &e.model().layers[0],
-            e.candidates()[0],
-        );
+        let direct =
+            autohet_xbar::utilization::utilization(&e.model().layers[0], e.candidates()[0]);
         assert_eq!(u, direct);
     }
 }

@@ -111,7 +111,11 @@ mod tests {
         // Small crossbars win utilization (32 or 64 — ⌊64/9⌋·9 = 63 wastes
         // only one row per column group, so 64 can edge out 32), large
         // crossbars win energy.
-        assert!(best_util.0.rows <= 64, "best utilization was {}", best_util.0);
+        assert!(
+            best_util.0.rows <= 64,
+            "best utilization was {}",
+            best_util.0
+        );
         assert_eq!(best_energy.0, XbarShape::square(512));
         // And the trade-off is real: the utilization winner pays more
         // energy; the energy winner utilizes worse.

@@ -74,11 +74,18 @@ pub mod prelude {
         rl_search, rl_search_multi_seed, rl_search_with_engine, RlSearchConfig, SearchOutcome,
         SearchTiming,
     };
-    pub use autohet_accel::{evaluate, AccelConfig, EngineStats, EvalEngine, EvalReport};
-    pub use autohet_serve::{
-        run_serving, run_serving_parallel, BurstSpec, Deployment, LatencyHistogram, ServeConfig,
-        ServingReport, TenantSpec, TenantStats, Workload,
+    pub use crate::studies::{
+        fault_campaign, serving_study, FaultCampaignConfig, FaultCampaignReport, FaultCampaignRow,
     };
+    pub use autohet_accel::{
+        evaluate, AccelConfig, DegradationMode, EngineStats, EvalEngine, EvalReport,
+        FaultedEvalReport, RepairPolicy,
+    };
+    pub use autohet_serve::{
+        run_serving, run_serving_parallel, BurstSpec, Deployment, FailureSpec, LatencyHistogram,
+        ServeConfig, ServingReport, TenantSpec, TenantStats, Workload,
+    };
+    pub use autohet_xbar::fault::{FaultMap, FaultRates};
     pub use autohet_xbar::geometry::{
         all_candidates, mixed_candidates, paper_hybrid_candidates, RECT_CANDIDATES,
         SQUARE_CANDIDATES,

@@ -52,6 +52,8 @@ pub fn strategy_to_string(strategy: &[XbarShape], model_note: &str) -> String {
 /// Errors from parsing a strategy file.
 #[derive(Debug, PartialEq, Eq)]
 pub enum ParseError {
+    /// Empty input: the file was truncated before the header.
+    Truncated,
     /// Missing or wrong version header.
     BadHeader,
     /// Line did not match `L<k> <rows>x<cols>`.
@@ -63,6 +65,7 @@ pub enum ParseError {
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ParseError::Truncated => write!(f, "empty or truncated strategy file"),
             ParseError::BadHeader => write!(f, "missing '{HEADER}' header"),
             ParseError::BadLine(l) => write!(f, "unparseable line: {l}"),
             ParseError::BadIndex(l) => write!(f, "out-of-order layer index: {l}"),
@@ -72,11 +75,72 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Errors from loading or saving a strategy file: every failure mode of
+/// the search-once/deploy-many workflow is a distinct variant, and none
+/// of the public functions panic on bad input.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure (missing file, permissions, short write, …).
+    Io(io::Error),
+    /// The file exists but is not a well-formed strategy.
+    Parse(ParseError),
+    /// The strategy parsed but was searched for a different network.
+    ModelMismatch {
+        /// Name of the model the caller wanted to deploy.
+        model: String,
+        /// Mappable layers that model has.
+        expected: usize,
+        /// Shapes the file actually assigns.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "strategy file I/O: {e}"),
+            PersistError::Parse(e) => write!(f, "strategy file format: {e}"),
+            PersistError::ModelMismatch {
+                model,
+                expected,
+                found,
+            } => write!(
+                f,
+                "strategy has {found} layers but model '{model}' has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Parse(e) => Some(e),
+            PersistError::ModelMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<ParseError> for PersistError {
+    fn from(e: ParseError) -> Self {
+        PersistError::Parse(e)
+    }
+}
+
 /// Parse a strategy string (inverse of [`strategy_to_string`]).
 pub fn strategy_from_str(text: &str) -> Result<Vec<XbarShape>, ParseError> {
     let mut lines = text.lines();
-    if lines.next().map(str::trim) != Some(HEADER) {
-        return Err(ParseError::BadHeader);
+    match lines.next() {
+        None => return Err(ParseError::Truncated),
+        Some(first) if first.trim() != HEADER => return Err(ParseError::BadHeader),
+        Some(_) => {}
     }
     let mut out = Vec::new();
     for line in lines {
@@ -114,33 +178,33 @@ pub fn strategy_from_str(text: &str) -> Result<Vec<XbarShape>, ParseError> {
 }
 
 /// Write a strategy to a file.
-pub fn save_strategy(path: &Path, strategy: &[XbarShape], model_note: &str) -> io::Result<()> {
-    fs::write(path, strategy_to_string(strategy, model_note))
+pub fn save_strategy(
+    path: &Path,
+    strategy: &[XbarShape],
+    model_note: &str,
+) -> Result<(), PersistError> {
+    fs::write(path, strategy_to_string(strategy, model_note))?;
+    Ok(())
 }
 
 /// Read a strategy from a file.
-pub fn load_strategy(path: &Path) -> io::Result<Vec<XbarShape>> {
+pub fn load_strategy(path: &Path) -> Result<Vec<XbarShape>, PersistError> {
     let text = fs::read_to_string(path)?;
-    strategy_from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Ok(strategy_from_str(&text)?)
 }
 
 /// Read a strategy from a file and validate it against `model`: the file
 /// must assign exactly one shape per mappable layer. Guards the
 /// search-once/deploy-many workflow against loading a strategy that was
 /// searched for a different network.
-pub fn load_strategy_for(model: &Model, path: &Path) -> io::Result<Vec<XbarShape>> {
+pub fn load_strategy_for(model: &Model, path: &Path) -> Result<Vec<XbarShape>, PersistError> {
     let strategy = load_strategy(path)?;
     if strategy.len() != model.layers.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "strategy in {} has {} layers but model '{}' has {}",
-                path.display(),
-                strategy.len(),
-                model.name,
-                model.layers.len()
-            ),
-        ));
+        return Err(PersistError::ModelMismatch {
+            model: model.name.clone(),
+            expected: model.layers.len(),
+            found: strategy.len(),
+        });
     }
     Ok(strategy)
 }
@@ -229,10 +293,83 @@ mod tests {
         let path = std::env::temp_dir().join("autohet_strategy_for_mismatch.txt");
         save_strategy(&path, &s, &lenet.name).unwrap();
         let err = load_strategy_for(&alexnet, &path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-        let msg = err.to_string();
-        assert!(msg.contains(&alexnet.name), "{msg}");
+        match &err {
+            PersistError::ModelMismatch {
+                model,
+                expected,
+                found,
+            } => {
+                assert_eq!(model, &alexnet.name);
+                assert_eq!(*expected, alexnet.layers.len());
+                assert_eq!(*found, lenet.layers.len());
+            }
+            other => panic!("expected ModelMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains(&alexnet.name), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_bad_header() {
+        assert_eq!(strategy_from_str(""), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn load_surfaces_io_errors_without_panicking() {
+        let path = std::env::temp_dir().join("autohet_no_such_strategy_file.txt");
+        let _ = std::fs::remove_file(&path);
+        match load_strategy(&path).unwrap_err() {
+            PersistError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let path = std::env::temp_dir().join("autohet_truncated_strategy.txt");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            load_strategy(&path).unwrap_err(),
+            PersistError::Parse(ParseError::Truncated)
+        ));
+        // Header alone parses as an empty strategy; a header cut mid-way
+        // does not.
+        std::fs::write(&path, &HEADER[..HEADER.len() / 2]).unwrap();
+        assert!(matches!(
+            load_strategy(&path).unwrap_err(),
+            PersistError::Parse(ParseError::BadHeader)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_binary_garbage() {
+        let path = std::env::temp_dir().join("autohet_garbage_strategy.txt");
+        std::fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x9C, 0x41]).unwrap();
+        // Non-UTF-8 bytes surface as an I/O error; UTF-8 noise as parse.
+        assert!(matches!(
+            load_strategy(&path).unwrap_err(),
+            PersistError::Io(_)
+        ));
+        std::fs::write(&path, format!("{HEADER}\nL1 \u{2603}x64\n")).unwrap();
+        assert!(matches!(
+            load_strategy(&path).unwrap_err(),
+            PersistError::Parse(ParseError::BadLine(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persist_error_chains_its_source() {
+        use std::error::Error as _;
+        let e = PersistError::from(ParseError::BadHeader);
+        assert!(e.source().is_some());
+        let m = PersistError::ModelMismatch {
+            model: "x".into(),
+            expected: 3,
+            found: 2,
+        };
+        assert!(m.source().is_none());
     }
 
     mod props {

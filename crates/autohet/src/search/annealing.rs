@@ -136,7 +136,12 @@ mod tests {
                 ..AnnealingConfig::default()
             },
         );
-        assert!(sa.rue() >= oracle.rue() * 0.9, "sa {} oracle {}", sa.rue(), oracle.rue());
+        assert!(
+            sa.rue() >= oracle.rue() * 0.9,
+            "sa {} oracle {}",
+            sa.rue(),
+            oracle.rue()
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub fn dqn_search(
             let idx = agent.act_eps(&s);
             // Normalize the index into the same continuous coordinate the
             // state vector uses.
-            prev_a = if c > 1 { idx as f64 / (c - 1) as f64 } else { 0.0 };
+            prev_a = if c > 1 {
+                idx as f64 / (c - 1) as f64
+            } else {
+                0.0
+            };
             prev_u = env.layer_utilization(k, prev_a);
             states.push(s);
             actions.push(idx);

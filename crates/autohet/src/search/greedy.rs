@@ -44,9 +44,7 @@ pub fn greedy_utilization_with_engine(
                 .max_by(|a, b| {
                     let ua = footprint(l, **a).utilization();
                     let ub = footprint(l, **b).utilization();
-                    ua.partial_cmp(&ub)
-                        .unwrap()
-                        .then(a.cells().cmp(&b.cells()))
+                    ua.partial_cmp(&ub).unwrap().then(a.cells().cmp(&b.cells()))
                 })
                 .unwrap()
         })
@@ -112,11 +110,16 @@ mod tests {
         // VGG16 L4 (128×128×3³) fits 36×32 at exactly 100% — the greedy
         // must find it among the hybrid candidates.
         let m = zoo::vgg16();
-        let (strategy, _) = greedy_utilization(&m, &paper_hybrid_candidates(), &AccelConfig::default());
+        let (strategy, _) =
+            greedy_utilization(&m, &paper_hybrid_candidates(), &AccelConfig::default());
         // Both 36×32 and 72×64 fit this layer at exactly 100%; the tie
         // breaks toward the larger crossbar (fewer peripherals).
         let u = footprint(&m.layers[3], strategy[3]).utilization();
-        assert!((u - 1.0).abs() < 1e-12, "layer 4 fit {u} on {}", strategy[3]);
+        assert!(
+            (u - 1.0).abs() < 1e-12,
+            "layer 4 fit {u} on {}",
+            strategy[3]
+        );
         assert!(strategy[3].is_rect());
     }
 

@@ -357,7 +357,11 @@ mod tests {
         let m = zoo::micro_cnn();
         let cfg = AccelConfig::default();
         let outcome = rl_search(&m, &paper_hybrid_candidates(), &cfg, &quick_cfg(2, 20));
-        let hist_max = outcome.history.iter().map(|h| h.rue).fold(f64::MIN, f64::max);
+        let hist_max = outcome
+            .history
+            .iter()
+            .map(|h| h.rue)
+            .fold(f64::MIN, f64::max);
         assert!((outcome.best_rue() - hist_max).abs() < 1e-12);
     }
 

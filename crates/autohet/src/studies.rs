@@ -18,14 +18,22 @@
 //!   vs. AutoHet strategy × tile-based vs. tile-shared allocation) behind
 //!   the `autohet-serve` queueing simulator under an *identical* request
 //!   stream and compares tail latency, SLO attainment, and energy.
+//! - [`fault_campaign`]: the paper assumes ideal devices; this campaign
+//!   sweeps a component fault rate across the same four deployment
+//!   configurations, repairs each allocation (spares → remap → degrade,
+//!   DESIGN.md §7), serves the degraded deployment under replica-failure
+//!   events scaled with the fault rate, and reports how fidelity, energy,
+//!   and SLO attainment decay end to end.
 
 use crate::homogeneous::best_homogeneous;
+use crate::par::par_map;
 use crate::search::greedy::greedy_layerwise_rue;
 use autohet_accel::alloc::allocate_tile_based;
 use autohet_accel::tile_shared::{apply_tile_sharing, share_across_models};
-use autohet_accel::{evaluate, AccelConfig};
+use autohet_accel::{evaluate, AccelConfig, EvalEngine, RepairPolicy};
 use autohet_dnn::{LayerKind, Model};
-use autohet_serve::{run_serving, Deployment, ServeConfig, TenantSpec, Workload};
+use autohet_serve::{run_serving, Deployment, FailureSpec, ServeConfig, TenantSpec, Workload};
+use autohet_xbar::fault::FaultRates;
 use autohet_xbar::geometry::paper_hybrid_candidates;
 use autohet_xbar::utilization::footprint;
 use autohet_xbar::XbarShape;
@@ -241,6 +249,215 @@ pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow
         .collect()
 }
 
+/// Parameters of a [`fault_campaign`] run. Everything downstream — fault
+/// maps, replica outages, request arrivals — derives from `seed`, so a
+/// campaign is a pure function of this struct and the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaignConfig {
+    /// Component fault rates to sweep (include 0.0 for the healthy
+    /// baseline; rate 0 also disables instance failures).
+    pub fault_rates: Vec<f64>,
+    /// Master seed for fault maps, failure schedules, and arrivals.
+    pub seed: u64,
+    /// Offered load as a fraction of the slowest *healthy* deployment's
+    /// single-replica capacity (identical across all rows).
+    pub load: f64,
+    /// Approximate request count per serving run (sets the horizon).
+    pub requests: f64,
+    /// Spare crossbars provisioned per tile for repair.
+    pub spares_per_tile: u32,
+    /// Accelerator replicas behind each deployment.
+    pub replicas: usize,
+}
+
+impl Default for FaultCampaignConfig {
+    fn default() -> Self {
+        FaultCampaignConfig {
+            fault_rates: vec![0.0, 0.02, 0.05, 0.1, 0.2],
+            seed: 7,
+            load: 0.7,
+            requests: 1_000.0,
+            spares_per_tile: 1,
+            replicas: 2,
+        }
+    }
+}
+
+/// One (deployment configuration, fault rate) cell of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaignRow {
+    /// `"<strategy>/<allocation>"`, e.g. `"autohet/tile-shared"`.
+    pub label: String,
+    /// Component fault rate of this cell.
+    pub fault_rate: f64,
+    /// Crossbar-weighted model fidelity after repair (1.0 = exact).
+    pub fidelity: f64,
+    /// Dead occupied slots absorbed by spare activation.
+    pub spared: u64,
+    /// Dead occupied slots remapped onto surviving crossbars.
+    pub remapped: u64,
+    /// Dead occupied slots the repair could only degrade around.
+    pub degraded: u64,
+    /// Whole-model inference energy on the repaired hardware [nJ].
+    pub energy_nj: f64,
+    /// Single-sample latency on the repaired hardware [ns].
+    pub latency_ns: f64,
+    /// Requests offered (identical across rows by construction).
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests lost to instance failures past their retry deadline.
+    pub failed: u64,
+    /// Completed requests that survived at least one batch kill.
+    pub degraded_completed: u64,
+    /// Fraction of offered requests completed within the SLO.
+    pub slo_attainment: f64,
+    /// 99th-percentile request latency [ns].
+    pub p99_ns: u64,
+    /// Total replica downtime during the run [ns].
+    pub downtime_ns: u64,
+}
+
+/// Outcome of a full fault-injection campaign on one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaignReport {
+    /// Model swept.
+    pub model: String,
+    /// Campaign parameters.
+    pub config: FaultCampaignConfig,
+    /// One row per (deployment configuration × fault rate), grouped by
+    /// configuration in sweep order.
+    pub rows: Vec<FaultCampaignRow>,
+}
+
+impl FaultCampaignReport {
+    /// The rows of one deployment configuration, in fault-rate order.
+    pub fn rows_for(&self, label: &str) -> Vec<&FaultCampaignRow> {
+        self.rows.iter().filter(|r| r.label == label).collect()
+    }
+
+    /// Distinct configuration labels, in declaration order.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.label.as_str()) {
+                seen.push(r.label.as_str());
+            }
+        }
+        seen
+    }
+}
+
+/// Replica-failure schedule for one campaign cell: instance failures get
+/// more frequent as component faults get denser (MTBF ∝ 1/rate), and a
+/// healthy device never fails.
+fn campaign_failures(seed: u64, fault_rate: f64) -> Option<FailureSpec> {
+    (fault_rate > 0.0).then(|| FailureSpec {
+        mtbf_ns: ((1_000_000.0 / fault_rate) as u64).max(1),
+        mttr_ns: 2_000_000,
+        seed: seed ^ 0x5EED_FA11,
+    })
+}
+
+/// Sweep component fault rate × {homogeneous, AutoHet} strategy ×
+/// {tile-based, tile-shared} allocation, end to end:
+///
+/// 1. every deployment configuration is repaired against the fault map
+///    sampled at the cell's rate ([`EvalEngine::evaluate_faulted`] — the
+///    nested sampling makes damage monotone in the rate for a fixed
+///    seed);
+/// 2. the repaired hardware is served under the *identical* seeded
+///    request stream with replica failures scaled to the fault rate;
+/// 3. each cell reports repair accounting, post-repair cost, and serving
+///    outcome.
+///
+/// Cells are evaluated with [`par_map`]; the report is bit-identical to
+/// a sequential sweep because every cell is independent and seeded.
+pub fn fault_campaign(model: &Model, cfg: &FaultCampaignConfig) -> FaultCampaignReport {
+    assert!(cfg.load > 0.0, "load must be positive");
+    assert!(!cfg.fault_rates.is_empty(), "empty fault-rate sweep");
+    assert!(cfg.replicas >= 1, "need at least one replica");
+    let base = AccelConfig::default();
+    let shared = base.with_tile_sharing();
+    let (homo_shape, _) = best_homogeneous(model, &base);
+    let homo = vec![homo_shape; model.layers.len()];
+    let (het, _) = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base);
+    let configs: [(&str, &[XbarShape], &AccelConfig); 4] = [
+        ("homogeneous/tile-based", &homo, &base),
+        ("homogeneous/tile-shared", &homo, &shared),
+        ("autohet/tile-based", &het, &base),
+        ("autohet/tile-shared", &het, &shared),
+    ];
+    let engines: Vec<EvalEngine> = configs
+        .iter()
+        .map(|(_, _, c)| EvalEngine::new(model.clone(), **c))
+        .collect();
+    let healthy: Vec<Deployment> = configs
+        .iter()
+        .map(|(label, strategy, c)| Deployment::compile(label, model, strategy, c))
+        .collect();
+    // Identical load for every cell: rate pinned to the slowest healthy
+    // deployment, SLO to the slowest healthy fill.
+    let floor_rps = healthy
+        .iter()
+        .map(Deployment::max_rate_rps)
+        .fold(f64::MAX, f64::min);
+    let slowest_fill = healthy
+        .iter()
+        .map(|d| d.pipeline.fill_ns)
+        .fold(0.0, f64::max);
+    let rate = cfg.load * floor_rps;
+    let slo_ns = (6.0 * slowest_fill) as u64;
+    let wl = Workload {
+        seed: cfg.seed,
+        horizon_ns: (cfg.requests / rate * 1e9) as u64,
+    };
+    let policy = RepairPolicy::default().with_spares(cfg.spares_per_tile);
+    let cells: Vec<(usize, f64)> = (0..configs.len())
+        .flat_map(|c| cfg.fault_rates.iter().map(move |&r| (c, r)))
+        .collect();
+    let rows = par_map(&cells, |&(c, fault_rate)| {
+        let rates = FaultRates {
+            dead_xbar: fault_rate,
+            degraded_adc: fault_rate / 2.0,
+            adc_bits_lost: 2,
+        };
+        let faulted = engines[c].evaluate_faulted(configs[c].1, cfg.seed, rates, &policy);
+        let deployment = healthy[c].with_degradation(&faulted);
+        let tenant = TenantSpec::new(configs[c].0, deployment, rate, slo_ns);
+        let serve = ServeConfig {
+            replicas: cfg.replicas,
+            queue_depth: 32,
+            failures: campaign_failures(cfg.seed, fault_rate),
+            ..ServeConfig::default()
+        };
+        let report = run_serving(&[tenant], &wl, &serve);
+        let t = &report.tenants[0];
+        FaultCampaignRow {
+            label: configs[c].0.to_string(),
+            fault_rate,
+            fidelity: faulted.fidelity,
+            spared: faulted.repair.spared,
+            remapped: faulted.repair.remapped,
+            degraded: faulted.repair.degraded,
+            energy_nj: faulted.eval.energy_nj(),
+            latency_ns: faulted.eval.latency_ns,
+            submitted: t.submitted,
+            completed: t.completed,
+            failed: t.failed,
+            degraded_completed: t.degraded_completed,
+            slo_attainment: t.slo_attainment,
+            p99_ns: t.p99_ns,
+            downtime_ns: report.replica_downtime_ns.iter().sum(),
+        }
+    });
+    FaultCampaignReport {
+        model: model.name.clone(),
+        config: cfg.clone(),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +517,74 @@ mod tests {
         assert!(rows.iter().all(|r| r.submitted == rows[0].submitted));
         assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.slo_attainment)));
         assert!(rows.iter().all(|r| r.energy_nj > 0.0));
+    }
+
+    fn small_campaign() -> FaultCampaignConfig {
+        FaultCampaignConfig {
+            fault_rates: vec![0.0, 0.1, 0.3],
+            seed: 11,
+            load: 0.6,
+            requests: 400.0,
+            spares_per_tile: 1,
+            replicas: 2,
+        }
+    }
+
+    #[test]
+    fn fault_campaign_is_deterministic_and_complete() {
+        let m = zoo::micro_cnn();
+        let cfg = small_campaign();
+        let a = fault_campaign(&m, &cfg);
+        let b = fault_campaign(&m, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the campaign bit-exactly");
+        assert_eq!(a.rows.len(), 4 * cfg.fault_rates.len());
+        assert_eq!(a.labels().len(), 4);
+        // Identical offered load in every cell.
+        assert!(a.rows.iter().all(|r| r.submitted == a.rows[0].submitted));
+    }
+
+    #[test]
+    fn fault_campaign_degrades_monotonically_with_rate() {
+        let m = zoo::micro_cnn();
+        let r = fault_campaign(&m, &small_campaign());
+        for label in r.labels() {
+            let rows = r.rows_for(label);
+            for w in rows.windows(2) {
+                assert!(
+                    w[1].energy_nj >= w[0].energy_nj - 1e-9,
+                    "{label}: energy shrank from rate {} to {}",
+                    w[0].fault_rate,
+                    w[1].fault_rate
+                );
+                assert!(
+                    w[1].fidelity <= w[0].fidelity + 1e-12,
+                    "{label}: fidelity rose from rate {} to {}",
+                    w[0].fault_rate,
+                    w[1].fault_rate
+                );
+            }
+            let healthy = rows.first().unwrap();
+            let worst = rows.last().unwrap();
+            assert_eq!(healthy.fault_rate, 0.0);
+            assert_eq!(healthy.downtime_ns, 0);
+            assert_eq!(healthy.failed, 0);
+            assert!(worst.slo_attainment <= healthy.slo_attainment);
+            assert!(worst.downtime_ns > 0, "{label}: no outages at rate 0.3");
+        }
+    }
+
+    #[test]
+    fn fault_campaign_rate_zero_matches_healthy_serving() {
+        let m = zoo::micro_cnn();
+        let mut cfg = small_campaign();
+        cfg.fault_rates = vec![0.0];
+        let r = fault_campaign(&m, &cfg);
+        for row in &r.rows {
+            assert_eq!(row.fidelity, 1.0);
+            assert_eq!(row.spared + row.remapped + row.degraded, 0);
+            assert_eq!(row.failed, 0);
+            assert_eq!(row.degraded_completed, 0);
+        }
     }
 
     #[test]

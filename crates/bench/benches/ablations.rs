@@ -12,7 +12,13 @@ fn bench_studies(c: &mut Criterion) {
     let vgg = zoo::vgg16();
     let strategy = vec![XbarShape::new(576, 512); vgg.layers.len()];
     c.bench_function("ablations/adc_resolution_sweep_vgg16", |b| {
-        b.iter(|| black_box(adc_resolution_sweep(black_box(&vgg), &strategy, &[6, 8, 10, 12])))
+        b.iter(|| {
+            black_box(adc_resolution_sweep(
+                black_box(&vgg),
+                &strategy,
+                &[6, 8, 10, 12],
+            ))
+        })
     });
     c.bench_function("ablations/rxb_height_study_vgg16", |b| {
         b.iter(|| black_box(rxb_height_study(black_box(&vgg), 64)))
@@ -35,7 +41,14 @@ fn bench_studies(c: &mut Criterion) {
             seed: 1,
             ..AnnealingConfig::default()
         };
-        b.iter(|| black_box(annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg)))
+        b.iter(|| {
+            black_box(annealing_search(
+                &m,
+                &paper_hybrid_candidates(),
+                &cfg,
+                &acfg,
+            ))
+        })
     });
     c.bench_function("ablations/greedy_rue_resnet152", |b| {
         let m = zoo::resnet152();

@@ -39,7 +39,14 @@ fn bench_eval_cache(c: &mut Criterion) {
     let micro = zoo::micro_cnn();
     let plain = AccelConfig::default();
     c.bench_function("eval_cache/exhaustive_serial_micro", |b| {
-        b.iter(|| black_box(exhaustive_search_serial(black_box(&micro), &cands, &plain, 1_000)))
+        b.iter(|| {
+            black_box(exhaustive_search_serial(
+                black_box(&micro),
+                &cands,
+                &plain,
+                1_000,
+            ))
+        })
     });
     c.bench_function("eval_cache/exhaustive_parallel_micro", |b| {
         b.iter(|| black_box(exhaustive_search(black_box(&micro), &cands, &plain, 1_000)))

@@ -48,7 +48,9 @@ fn bench_crossbar_mvm(c: &mut Criterion) {
         &CostParams::default(),
     );
     let adc = Adc::new(10);
-    let input: Vec<u8> = (0..layer.weight_rows()).map(|i| (i * 37 % 256) as u8).collect();
+    let input: Vec<u8> = (0..layer.weight_rows())
+        .map(|i| (i * 37 % 256) as u8)
+        .collect();
     let mut g = c.benchmark_group("kernels/crossbar_mvm");
     g.throughput(Throughput::Elements(
         (layer.weight_rows() * layer.weight_cols()) as u64,

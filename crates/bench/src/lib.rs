@@ -6,9 +6,11 @@
 //! a [`ReproConfig`] so the full 300-episode runs and quick smoke runs
 //! share one code path.
 
-use autohet::prelude::*;
 use autohet::ablation::{run_ablation, AblationResult};
-use autohet::sensitivity::{sweep_candidate_count, sweep_pes_per_tile, sweep_sxb_rxb_ratio, SweepPoint};
+use autohet::prelude::*;
+use autohet::sensitivity::{
+    sweep_candidate_count, sweep_pes_per_tile, sweep_sxb_rxb_ratio, SweepPoint,
+};
 use autohet_accel::alloc::allocate_tile_based;
 use autohet_dnn::{zoo, Layer, Model};
 use autohet_rl::DdpgConfig;
@@ -145,10 +147,25 @@ pub fn motiv() -> Table {
     let l2 = Layer::conv(1, 32, 20, 1, 1, 0, 32);
     let l4 = Layer::conv(3, 128, 128, 3, 1, 1, 16);
     let cases: [(&str, &Layer, XbarShape, &str); 4] = [
-        ("Fig2 layer1 (3ch 3x3 -> 4)", &l1, XbarShape::square(32), "10.5"),
-        ("Fig2 layer2 (32ch 1x1 -> 20)", &l2, XbarShape::square(32), "62.5"),
+        (
+            "Fig2 layer1 (3ch 3x3 -> 4)",
+            &l1,
+            XbarShape::square(32),
+            "10.5",
+        ),
+        (
+            "Fig2 layer2 (32ch 1x1 -> 20)",
+            &l2,
+            XbarShape::square(32),
+            "62.5",
+        ),
         ("VGG16 L4 on square", &l4, XbarShape::square(32), "83.7"),
-        ("VGG16 L4 on rectangle", &l4, XbarShape::new(36, 32), "100.0"),
+        (
+            "VGG16 L4 on rectangle",
+            &l4,
+            XbarShape::new(36, 32),
+            "100.0",
+        ),
     ];
     for (name, layer, shape, paper) in cases {
         let u = footprint(layer, shape).utilization();
@@ -220,7 +237,9 @@ pub fn fig4() -> Table {
     let mut row = vec!["all-layers".to_string()];
     for cap in [4u32, 8, 16, 32] {
         let alloc = allocate_tile_based(&m, &strategy, cap);
-        row.push(pct(alloc.empty_xbars() as f64 / alloc.allocated_xbars() as f64));
+        row.push(pct(
+            alloc.empty_xbars() as f64 / alloc.allocated_xbars() as f64
+        ));
     }
     t.push(row);
     t
@@ -276,7 +295,13 @@ pub fn fig9(rc: &ReproConfig, models: &[Model]) -> Vec<Table> {
         .map(|m| {
             let mut t = Table::new(
                 format!("Fig. 9 — {} on {}", m.name, m.dataset.name()),
-                &["accelerator", "RUE", "utilization %", "energy nJ", "norm energy"],
+                &[
+                    "accelerator",
+                    "RUE",
+                    "utilization %",
+                    "energy nJ",
+                    "norm energy",
+                ],
             );
             let homos = homogeneous_reports(m, &cfg);
             let e_min = homos
@@ -459,7 +484,10 @@ pub fn search_time(rc: &ReproConfig, model: &Model) -> Table {
         &rc.search(),
     );
     let mut t = Table::new(
-        format!("§4.5 — RL search time, {} ({} rounds)", model.name, rc.episodes),
+        format!(
+            "§4.5 — RL search time, {} ({} rounds)",
+            model.name, rc.episodes
+        ),
         &["quantity", "value"],
     );
     t.push(vec![
@@ -505,7 +533,11 @@ pub fn study_adc() -> Table {
             sci(p.energy_nj),
             sci(p.area_um2),
             sci(p.rue),
-            if p.lossless { "yes".into() } else { "CLIPS".into() },
+            if p.lossless {
+                "yes".into()
+            } else {
+                "CLIPS".into()
+            },
         ]);
     }
     t
@@ -537,7 +569,10 @@ pub fn study_multi_model() -> Table {
         &["scheme", "tiles"],
     );
     t.push(vec!["no sharing".into(), r.tiles_unshared.to_string()]);
-    t.push(vec!["per-model sharing".into(), r.tiles_per_model.to_string()]);
+    t.push(vec![
+        "per-model sharing".into(),
+        r.tiles_per_model.to_string(),
+    ]);
     t.push(vec!["joint sharing".into(), r.tiles_joint.to_string()]);
     t
 }
@@ -617,7 +652,13 @@ pub fn mobilenet(rc: &ReproConfig) -> Table {
     let cfg = AccelConfig::default();
     let mut t = Table::new(
         "MobileNetV1 on ImageNet — homogeneous vs AutoHet",
-        &["accelerator", "RUE", "utilization %", "energy nJ", "worst dw util %"],
+        &[
+            "accelerator",
+            "RUE",
+            "utilization %",
+            "energy nJ",
+            "worst dw util %",
+        ],
     );
     let worst_dw = |shape: XbarShape| -> f64 {
         m.layers
@@ -734,7 +775,11 @@ pub fn pareto(rc: &ReproConfig, model: &Model) -> Table {
             format!("{u:.1}"),
             sci(e),
             sci(p.report.rue()),
-            if front.contains(&i) { "yes".into() } else { "".into() },
+            if front.contains(&i) {
+                "yes".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     t

@@ -18,12 +18,7 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// index first).
 pub fn top_k(logits: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..logits.len()).collect();
-    idx.sort_by(|&a, &b| {
-        logits[b]
-            .partial_cmp(&logits[a])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap().then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

@@ -138,7 +138,13 @@ impl ModelBuilder {
     }
 
     /// Append a convolution with explicit stride/padding.
-    pub fn conv_spec(mut self, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn conv_spec(
+        mut self,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         assert!(!self.flattened, "conv after fc in {}", self.name);
         let l = Layer::conv(
             self.layers.len(),

@@ -16,7 +16,10 @@ use rand::{Rng, SeedableRng};
 /// output pixel `p`. This mirrors exactly how the paper's Fig. 7 lays
 /// kernels on crossbar columns: one MVM per output pixel.
 pub fn im2col(layer: &Layer, input: &Tensor) -> Tensor {
-    assert_eq!(input.shape(), &[layer.in_channels, layer.in_size, layer.in_size]);
+    assert_eq!(
+        input.shape(),
+        &[layer.in_channels, layer.in_size, layer.in_size]
+    );
     let k = layer.kernel;
     let o = layer.out_size();
     let rows = layer.weight_rows();
@@ -167,7 +170,8 @@ pub fn max_pool(input: &Tensor, window: usize) -> Tensor {
 /// architecture-search metrics).
 pub fn synthetic_weights(layer: &Layer, seed: u64) -> Tensor {
     let (rows, cols) = layer.kernel_matrix_shape();
-    let mut rng = SmallRng::seed_from_u64(seed ^ (layer.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        SmallRng::seed_from_u64(seed ^ (layer.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen::<f32>() - 0.5).collect();
     Tensor::from_vec(vec![rows, cols], data)
 }
@@ -222,7 +226,7 @@ mod tests {
     fn im2col_conv_matches_direct_conv_same_padding() {
         let l = Layer::conv(0, 3, 5, 3, 1, 1, 8);
         let input = crate::Dataset::Cifar10.synthetic_image(1); // 3×32×32
-        // crop to 8×8 via a fresh tensor
+                                                                // crop to 8×8 via a fresh tensor
         let mut small = Tensor::zeros(vec![3, 8, 8]);
         for c in 0..3 {
             for y in 0..8 {
@@ -265,10 +269,7 @@ mod tests {
                     *ch_in.at3_mut(0, y, x) = input.at3(c, y, x);
                 }
             }
-            let w = Tensor::from_vec(
-                vec![9, 1],
-                (0..9).map(|e| kernels.at2(e, c)).collect(),
-            );
+            let w = Tensor::from_vec(vec![9, 1], (0..9).map(|e| kernels.at2(e, c)).collect());
             let ref_out = conv2d(&single, &ch_in, &w);
             for y in 0..6 {
                 for x in 0..6 {
@@ -306,10 +307,7 @@ mod tests {
 
     #[test]
     fn max_pool_2x2() {
-        let t = Tensor::from_vec(
-            vec![1, 4, 4],
-            (0..16).map(|i| i as f32).collect(),
-        );
+        let t = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32).collect());
         let p = max_pool(&t, 2);
         assert_eq!(p.shape(), &[1, 2, 2]);
         assert_eq!(p.data(), &[5.0, 7.0, 13.0, 15.0]);
@@ -326,8 +324,14 @@ mod tests {
     fn synthetic_weights_are_deterministic_and_layer_distinct() {
         let a = Layer::conv(0, 2, 3, 3, 1, 1, 8);
         let b = Layer::conv(1, 2, 3, 3, 1, 1, 8);
-        assert_eq!(synthetic_weights(&a, 5).data(), synthetic_weights(&a, 5).data());
-        assert_ne!(synthetic_weights(&a, 5).data(), synthetic_weights(&b, 5).data());
+        assert_eq!(
+            synthetic_weights(&a, 5).data(),
+            synthetic_weights(&a, 5).data()
+        );
+        assert_ne!(
+            synthetic_weights(&a, 5).data(),
+            synthetic_weights(&b, 5).data()
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl Quantizer {
         assert!((2..=16).contains(&bits), "unsupported bit width {bits}");
         let qmax = (1_i32 << (bits - 1)) - 1;
         let max_abs = t.max_abs();
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax as f32 };
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / qmax as f32
+        };
         Quantizer { scale, qmax }
     }
 

@@ -66,7 +66,13 @@ pub fn vgg16() -> Model {
 pub fn resnet152() -> Model {
     let mut layers: Vec<Layer> = Vec::with_capacity(156);
     let mut idx = 0usize;
-    let mut push = |layers: &mut Vec<Layer>, cin: usize, cout: usize, k: usize, s: usize, p: usize, size: usize| {
+    let mut push = |layers: &mut Vec<Layer>,
+                    cin: usize,
+                    cout: usize,
+                    k: usize,
+                    s: usize,
+                    p: usize,
+                    size: usize| {
         layers.push(Layer::conv(idx, cin, cout, k, s, p, size));
         idx += 1;
     };
@@ -138,7 +144,13 @@ pub fn lenet5() -> Model {
 pub fn resnet18() -> Model {
     let mut layers: Vec<Layer> = Vec::with_capacity(21);
     let mut idx = 0usize;
-    let mut push = |layers: &mut Vec<Layer>, cin: usize, cout: usize, k: usize, s: usize, p: usize, size: usize| {
+    let mut push = |layers: &mut Vec<Layer>,
+                    cin: usize,
+                    cout: usize,
+                    k: usize,
+                    s: usize,
+                    p: usize,
+                    size: usize| {
         layers.push(Layer::conv(idx, cin, cout, k, s, p, size));
         idx += 1;
     };
@@ -179,9 +191,8 @@ pub fn resnet18() -> Model {
 /// heterogeneity matters most. 28 mappable layers: stem +
 /// 13 × (depthwise, pointwise) + classifier.
 pub fn mobilenet_v1() -> Model {
-    let mut b = ModelBuilder::new("MobileNetV1", Dataset::ImageNet)
-        .conv_spec(32, 3, 2, 1); // 224 → 112
-    // (pointwise width, depthwise stride) pairs, standard V1 schedule.
+    let mut b = ModelBuilder::new("MobileNetV1", Dataset::ImageNet).conv_spec(32, 3, 2, 1); // 224 → 112
+                                                                                            // (pointwise width, depthwise stride) pairs, standard V1 schedule.
     let blocks: [(usize, usize); 13] = [
         (64, 1),
         (128, 2),
@@ -399,7 +410,11 @@ mod tests {
             .count();
         assert_eq!(dw, 13);
         // Depthwise layers preserve channels.
-        for l in m.layers.iter().filter(|l| l.kind == LayerKind::DepthwiseConv) {
+        for l in m
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::DepthwiseConv)
+        {
             assert_eq!(l.in_channels, l.out_channels);
             assert_eq!(l.kernel, 3);
         }

@@ -181,12 +181,7 @@ impl Ddpg {
             let mut in_next = e.next_state.clone();
             in_next.push(a_next);
             let q_next = self.critic_target.forward(&in_next)[0];
-            let y = e.reward
-                + if e.done {
-                    0.0
-                } else {
-                    self.cfg.gamma * q_next
-                };
+            let y = e.reward + if e.done { 0.0 } else { self.cfg.gamma * q_next };
             targets.push(y);
         }
         self.critic.zero_grad();
@@ -222,8 +217,10 @@ impl Ddpg {
         self.actor.adam_step(&mut self.actor_opt, n);
 
         // ---- Soft target updates.
-        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
-        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+        self.actor_target
+            .soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target
+            .soft_update_from(&self.critic, self.cfg.tau);
 
         Some(TrainStats {
             critic_loss,

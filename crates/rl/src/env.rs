@@ -63,10 +63,7 @@ impl Environment for ChainEnv {
         self.penalty += d * d;
         self.position += 1;
         let done = self.position >= self.steps;
-        (
-            vec![self.position as f64 / self.steps as f64, 1.0],
-            done,
-        )
+        (vec![self.position as f64 / self.steps as f64, 1.0], done)
     }
 
     fn episode_reward(&self) -> f64 {

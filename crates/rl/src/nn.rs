@@ -99,7 +99,11 @@ impl Dense {
 
     /// Accumulate gradients for the last forward pass; return dLoss/dInput.
     fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
-        assert_eq!(grad_out.len(), self.output.len(), "backward before forward?");
+        assert_eq!(
+            grad_out.len(),
+            self.output.len(),
+            "backward before forward?"
+        );
         let delta: Vec<f64> = grad_out
             .iter()
             .zip(&self.output)
@@ -150,7 +154,12 @@ pub struct Mlp {
 impl Mlp {
     /// Build an MLP with sizes `dims = [in, h1, …, out]`, `hidden`
     /// activation on all but the last layer and `output` on the head.
-    pub fn new<R: Rng>(dims: &[usize], hidden: Activation, output: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        dims: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Self {
         assert!(dims.len() >= 2);
         let layers = dims
             .windows(2)
@@ -273,7 +282,12 @@ mod tests {
         // Perturb every parameter of a small net and compare the analytic
         // gradient with a central difference.
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut net = Mlp::new(&[3, 5, 4, 2], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let mut net = Mlp::new(
+            &[3, 5, 4, 2],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         let x = [0.3, -0.7, 0.9];
         let target = [0.2, 0.8];
 
@@ -407,7 +421,12 @@ mod tests {
     #[test]
     fn num_params_counts_weights_and_biases() {
         let mut rng = SmallRng::seed_from_u64(10);
-        let net = Mlp::new(&[10, 64, 64, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let net = Mlp::new(
+            &[10, 64, 64, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         assert_eq!(net.num_params(), 10 * 64 + 64 + 64 * 64 + 64 + 64 + 1);
     }
 }

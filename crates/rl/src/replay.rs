@@ -161,7 +161,9 @@ impl PrioritizedReplay {
         let slot = idx - (self.capacity - 1);
         (
             slot,
-            self.items[slot].as_ref().expect("priority mass on empty slot"),
+            self.items[slot]
+                .as_ref()
+                .expect("priority mass on empty slot"),
         )
     }
 

@@ -3,7 +3,8 @@
 //! energy — plus the full reports for observability.
 
 use autohet_accel::{
-    evaluate, pipeline_report, AccelConfig, EvalEngine, EvalReport, PipelineReport,
+    evaluate, pipeline_report, AccelConfig, EvalEngine, EvalReport, FaultedEvalReport,
+    PipelineReport,
 };
 use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
@@ -45,6 +46,38 @@ impl Deployment {
             name: name.to_string(),
             pipeline: pipeline_report(engine.model(), strategy, engine.config()),
             eval: engine.evaluate(strategy),
+        }
+    }
+
+    /// This deployment re-compiled against a fault-repaired evaluation:
+    /// every pipeline stage is stretched by its layer's repair latency
+    /// factor (re-serialization over surviving crossbars) and the
+    /// energy/area half is replaced by the faulted evaluation — so
+    /// serving sees both the latency and the energy cost of running on
+    /// damaged hardware. An ideal fault map leaves the pipeline
+    /// untouched (spare provisioning may still change area).
+    pub fn with_degradation(&self, faulted: &FaultedEvalReport) -> Self {
+        let stage_ns: Vec<f64> = self
+            .pipeline
+            .stage_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s * faulted.repair.latency_factor(i))
+            .collect();
+        let (bottleneck_layer, &bottleneck_ns) = stage_ns
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty pipeline");
+        Deployment {
+            name: format!("{}+faults", self.name),
+            pipeline: PipelineReport {
+                fill_ns: stage_ns.iter().sum(),
+                bottleneck_layer,
+                bottleneck_ns,
+                stage_ns,
+            },
+            eval: faulted.eval.clone(),
         }
     }
 
@@ -92,6 +125,46 @@ mod tests {
         let a = Deployment::compile("a", &m, &strategy, &cfg);
         let b = Deployment::with_engine("a", &engine, &strategy);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degradation_stretches_service_and_swaps_energy() {
+        use autohet_accel::RepairPolicy;
+        use autohet_xbar::fault::FaultRates;
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::square(128); m.layers.len()];
+        let cfg = AccelConfig::default();
+        let engine = EvalEngine::new(m.clone(), cfg);
+        let healthy = Deployment::compile("lenet", &m, &strategy, &cfg);
+
+        // Ideal faults, no spares provisioned: only the label changes.
+        let ideal = engine.evaluate_faulted(
+            &strategy,
+            7,
+            FaultRates::ideal(),
+            &RepairPolicy::no_spares(autohet_accel::DegradationMode::Reserialize),
+        );
+        let same = healthy.with_degradation(&ideal);
+        assert_eq!(same.pipeline, healthy.pipeline);
+        assert_eq!(same.eval, healthy.eval);
+
+        // Real damage past what remapping absorbs: re-serialization
+        // stretches the damaged stages, so single-sample service slows.
+        let hurt = engine.evaluate_faulted(
+            &strategy,
+            7,
+            FaultRates::dead(0.7),
+            &RepairPolicy::no_spares(autohet_accel::DegradationMode::Reserialize),
+        );
+        assert!(hurt.repair.degraded > 0, "{:?}", hurt.repair);
+        let degraded = healthy.with_degradation(&hurt);
+        assert!(degraded.service_ns(1) > healthy.service_ns(1));
+        // The bottleneck stage may survive untouched, so throughput can
+        // only stay equal or drop — never improve.
+        assert!(degraded.max_rate_rps() <= healthy.max_rate_rps());
+        assert_eq!(degraded.eval, hurt.eval);
+        let sum: f64 = degraded.pipeline.stage_ns.iter().sum();
+        assert!((degraded.pipeline.fill_ns - sum).abs() < 1e-9);
     }
 
     #[test]

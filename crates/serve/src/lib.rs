@@ -29,6 +29,15 @@
 //!   dispatchable tenants the oldest head request wins (ties: lowest
 //!   tenant id).
 //!
+//! - **Failures** (optional): replica instances fail and recover on a
+//!   seeded alternating renewal schedule ([`FailureSpec`] →
+//!   [`FailurePlan`]). A down replica is skipped at dispatch time
+//!   (failover to survivors); a batch interrupted mid-service is killed
+//!   and its requests retried — back at the queue front, keeping FIFO by
+//!   arrival — unless their retry deadline has passed, in which case they
+//!   count as failed. Completed requests that survived a kill are
+//!   reported per tenant as `degraded_completed`.
+//!
 //! ## Determinism
 //!
 //! The event loop is a recurrence: "the replica with the minimum free
@@ -47,12 +56,14 @@
 //! deploy-time cost, §4.5 of the paper).
 
 pub mod deploy;
+pub mod failure;
 pub mod parallel;
 pub mod report;
 pub mod sim;
 pub mod workload;
 
 pub use deploy::Deployment;
+pub use failure::{FailurePlan, FailureSpec, Outage};
 pub use parallel::run_serving_parallel;
 pub use report::{LatencyHistogram, ServingReport, TenantStats};
 pub use sim::{run_serving, ServeConfig};

@@ -45,6 +45,7 @@ pub fn run_serving_parallel(
     cfg: &ServeConfig,
 ) -> ServingReport {
     cfg.validate();
+    let plan = cfg.failure_plan(wl);
     let shared = Mutex::new(Shared {
         core: SimCore::new(tenants.len(), merge_arrivals(tenants, wl), cfg),
         free: vec![0; cfg.replicas],
@@ -56,6 +57,7 @@ pub fn run_serving_parallel(
             .map(|w| {
                 let shared = &shared;
                 let parked = &parked;
+                let plan = &plan;
                 s.spawn(move |_| {
                     let mut mine: Vec<BatchResult> = Vec::new();
                     let mut guard = shared.lock();
@@ -65,11 +67,43 @@ pub fn run_serving_parallel(
                             continue;
                         }
                         let free_w = guard.free[w];
-                        match guard.core.next_batch(free_w) {
-                            Some(job) => {
-                                let spec = &tenants[job.tenant];
-                                let completion =
-                                    job.start_ns + spec.deployment.service_ns(job.arrivals.len());
+                        // Down at the free instant: wait out the outage
+                        // (identical to the single-threaded step order —
+                        // the bump happens while this replica is the
+                        // minimum, before any core call).
+                        if let Some(up) = plan.down_until(w, free_w) {
+                            guard.free[w] = up;
+                            parked.notify_all();
+                            continue;
+                        }
+                        let Some(at) = guard.core.peek_dispatch(free_w) else {
+                            guard.done[w] = true;
+                            guard.free[w] = u64::MAX;
+                            parked.notify_all();
+                            return mine;
+                        };
+                        // Down at the dispatch instant: fail over.
+                        if let Some(up) = plan.down_until(w, at) {
+                            guard.free[w] = up;
+                            parked.notify_all();
+                            continue;
+                        }
+                        let job = guard
+                            .core
+                            .next_batch(free_w)
+                            .expect("peeked batch vanished");
+                        let spec = &tenants[job.tenant];
+                        let completion =
+                            job.start_ns + spec.deployment.service_ns(job.requests.len());
+                        match plan.outage_in(w, job.start_ns, completion) {
+                            Some(o) => {
+                                // Killed mid-service: requeue *under the
+                                // lock* — later dispatches depend on it.
+                                guard.free[w] = o.up_ns;
+                                guard.core.requeue(job, o.down_ns, cfg.retry_deadline_ns);
+                                parked.notify_all();
+                            }
+                            None => {
                                 guard.free[w] = completion;
                                 parked.notify_all();
                                 drop(guard);
@@ -77,12 +111,6 @@ pub fn run_serving_parallel(
                                 // this worker's local results.
                                 mine.push(finish_batch(spec, job, completion));
                                 guard = shared.lock();
-                            }
-                            None => {
-                                guard.done[w] = true;
-                                guard.free[w] = u64::MAX;
-                                parked.notify_all();
-                                return mine;
                             }
                         }
                     }
@@ -99,7 +127,7 @@ pub fn run_serving_parallel(
     let mut batches: Vec<BatchResult> = per_worker.into_iter().flatten().collect();
     batches.sort_unstable_by_key(|b| b.index);
     let core = shared.into_inner().core;
-    assemble_report(tenants, wl, cfg, &core, &batches)
+    assemble_report(tenants, wl, cfg, &core, &batches, &plan)
 }
 
 #[cfg(test)]
@@ -160,6 +188,33 @@ mod tests {
                 // …and full bit-identity on top.
                 assert_eq!(single, multi, "replicas={replicas} depth={queue_depth}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_single_threaded_under_failures() {
+        let tenants = mixed_tenants();
+        let wl = Workload {
+            seed: 77,
+            horizon_ns: 40_000_000,
+        };
+        for replicas in [2usize, 3, 4] {
+            let cfg = ServeConfig {
+                replicas,
+                failures: Some(crate::failure::FailureSpec {
+                    mtbf_ns: 3_000_000,
+                    mttr_ns: 500_000,
+                    seed: 13,
+                }),
+                ..ServeConfig::default()
+            };
+            let single = run_serving(&tenants, &wl, &cfg);
+            let multi = run_serving_parallel(&tenants, &wl, &cfg);
+            assert!(
+                single.total_retried > 0 || single.total_failed > 0,
+                "failure config too tame to exercise the kill path"
+            );
+            assert_eq!(single, multi, "replicas={replicas}");
         }
     }
 

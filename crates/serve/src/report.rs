@@ -2,6 +2,7 @@
 //! the aggregate [`ServingReport`] both execution modes assemble from the
 //! same batch stream.
 
+use crate::failure::FailurePlan;
 use crate::sim::{BatchResult, ServeConfig, SimCore};
 use crate::workload::{TenantSpec, Workload};
 use serde::{Deserialize, Serialize};
@@ -57,7 +58,18 @@ pub struct TenantStats {
     pub completed: u64,
     /// Requests shed by admission control.
     pub rejected: u64,
-    /// Batches dispatched for this tenant.
+    /// Requests dropped because an instance failure interrupted them past
+    /// their retry deadline.
+    pub failed: u64,
+    /// Retry events: requests returned to the queue by killed batches
+    /// (one request can retry more than once).
+    pub retried: u64,
+    /// Completed requests that survived at least one instance failure —
+    /// served, but through the degraded (retry) path.
+    pub degraded_completed: u64,
+    /// Batches killed mid-service by an instance failure.
+    pub killed_batches: u64,
+    /// Batches dispatched for this tenant (completed ones only).
     pub batches: u64,
     /// Nearest-rank latency percentiles over completed requests [ns].
     pub p50_ns: u64,
@@ -105,6 +117,12 @@ pub struct ServingReport {
     pub total_completed: u64,
     /// Shed requests across all tenants.
     pub total_rejected: u64,
+    /// Failure-dropped requests across all tenants.
+    pub total_failed: u64,
+    /// Retry events across all tenants.
+    pub total_retried: u64,
+    /// Per-replica downtime within `[0, makespan_ns)` [ns].
+    pub replica_downtime_ns: Vec<u64>,
     /// Total inference energy [nJ].
     pub total_energy_nj: f64,
     /// Completed requests per second of virtual time, all tenants.
@@ -131,24 +149,34 @@ pub(crate) fn assemble_report(
     cfg: &ServeConfig,
     core: &SimCore,
     batches: &[BatchResult],
+    plan: &FailurePlan,
 ) -> ServingReport {
     let n = tenants.len();
     let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); n];
     let mut hist = vec![LatencyHistogram::new(); n];
     let mut energy = vec![0.0f64; n];
     let mut tenant_batches = vec![0u64; n];
+    let mut degraded = vec![0u64; n];
     let mut makespan = wl.horizon_ns;
     let mut total_requests = 0u64;
     for (i, b) in batches.iter().enumerate() {
-        debug_assert_eq!(b.index, i, "batch stream must be index-ordered");
-        for &a in &b.arrivals {
-            let l = b.completion_ns - a;
+        // Killed batches consume dispatch indices without completing, so
+        // the completed stream is strictly increasing, not gap-free.
+        debug_assert!(
+            i == 0 || batches[i - 1].index < b.index,
+            "batch stream must be index-ordered"
+        );
+        for r in &b.requests {
+            let l = b.completion_ns - r.arrival_ns;
             latencies[b.tenant].push(l);
             hist[b.tenant].record(l);
+            if r.retries > 0 {
+                degraded[b.tenant] += 1;
+            }
         }
         energy[b.tenant] += b.energy_nj;
         tenant_batches[b.tenant] += 1;
-        total_requests += b.arrivals.len() as u64;
+        total_requests += b.requests.len() as u64;
         makespan = makespan.max(b.completion_ns);
     }
     let span_s = makespan as f64 * 1e-9;
@@ -165,6 +193,10 @@ pub(crate) fn assemble_report(
                 submitted,
                 completed,
                 rejected: core.rejected[t],
+                failed: core.failed[t],
+                retried: core.retried[t],
+                degraded_completed: degraded[t],
+                killed_batches: core.killed_batches[t],
                 batches: tenant_batches[t],
                 p50_ns: percentile(lat, 0.50),
                 p95_ns: percentile(lat, 0.95),
@@ -207,6 +239,11 @@ pub(crate) fn assemble_report(
         },
         total_completed,
         total_rejected: stats.iter().map(|s| s.rejected).sum(),
+        total_failed: stats.iter().map(|s| s.failed).sum(),
+        total_retried: stats.iter().map(|s| s.retried).sum(),
+        replica_downtime_ns: (0..cfg.replicas)
+            .map(|r| plan.downtime_ns(r, makespan))
+            .collect(),
         total_energy_nj: energy.iter().sum(),
         aggregate_throughput_rps: if span_s > 0.0 {
             total_completed as f64 / span_s

@@ -11,6 +11,7 @@
 //! the recurrence is evaluated by one thread ([`run_serving`]) or by one
 //! worker per replica ([`run_serving_parallel`](crate::parallel)).
 
+use crate::failure::FailurePlan;
 use crate::report::{assemble_report, ServingReport};
 use crate::workload::{merge_arrivals, Arrival, TenantSpec, Workload};
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,12 @@ pub struct ServeConfig {
     pub batch_window_ns: u64,
     /// Per-tenant bound on waiting requests; arrivals beyond it are shed.
     pub queue_depth: usize,
+    /// Instance failure/recovery process; `None` models ideal replicas.
+    pub failures: Option<crate::failure::FailureSpec>,
+    /// A request interrupted by an instance failure is retried on a
+    /// surviving replica only while its age is within this deadline;
+    /// older interrupted requests are dropped as failed [ns].
+    pub retry_deadline_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +44,8 @@ impl Default for ServeConfig {
             max_batch: 8,
             batch_window_ns: 1_000_000,
             queue_depth: 64,
+            failures: None,
+            retry_deadline_ns: 100_000_000,
         }
     }
 }
@@ -46,7 +55,28 @@ impl ServeConfig {
         assert!(self.replicas >= 1, "need at least one replica");
         assert!(self.max_batch >= 1, "need at least one request per batch");
         assert!(self.queue_depth >= 1, "need queue space for one request");
+        if let Some(f) = &self.failures {
+            f.validate();
+        }
     }
+
+    /// The outage schedule this configuration implies for `wl`.
+    pub(crate) fn failure_plan(&self, wl: &Workload) -> FailurePlan {
+        match &self.failures {
+            Some(spec) => FailurePlan::generate(spec, self.replicas, wl.horizon_ns),
+            None => FailurePlan::none(self.replicas),
+        }
+    }
+}
+
+/// One queued (or in-flight) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Req {
+    /// Original arrival timestamp [ns] — latency and retry deadlines are
+    /// always measured from here, across any number of retries.
+    pub arrival_ns: u64,
+    /// Times this request was returned to its queue by a killed batch.
+    pub retries: u32,
 }
 
 /// A batch the scheduler decided to dispatch.
@@ -58,8 +88,8 @@ pub(crate) struct BatchJob {
     pub tenant: usize,
     /// Dispatch timestamp [ns].
     pub start_ns: u64,
-    /// Arrival timestamp of each request in the batch, FIFO order.
-    pub arrivals: Vec<u64>,
+    /// Requests in the batch, FIFO order by arrival.
+    pub requests: Vec<Req>,
 }
 
 /// A completed batch with everything report assembly needs.
@@ -68,7 +98,7 @@ pub(crate) struct BatchResult {
     pub index: usize,
     pub tenant: usize,
     pub completion_ns: u64,
-    pub arrivals: Vec<u64>,
+    pub requests: Vec<Req>,
     pub energy_nj: f64,
 }
 
@@ -79,10 +109,13 @@ pub(crate) struct SimCore {
     window_ns: u64,
     max_batch: usize,
     depth_bound: usize,
-    queues: Vec<VecDeque<u64>>,
+    queues: Vec<VecDeque<Req>>,
     next_index: usize,
     pub submitted: Vec<u64>,
     pub rejected: Vec<u64>,
+    pub retried: Vec<u64>,
+    pub failed: Vec<u64>,
+    pub killed_batches: Vec<u64>,
     pub peak_depth: Vec<usize>,
     depth_area: Vec<u128>,
     last_event: Vec<u64>,
@@ -100,6 +133,9 @@ impl SimCore {
             next_index: 0,
             submitted: vec![0; n_tenants],
             rejected: vec![0; n_tenants],
+            retried: vec![0; n_tenants],
+            failed: vec![0; n_tenants],
+            killed_batches: vec![0; n_tenants],
             peak_depth: vec![0; n_tenants],
             depth_area: vec![0; n_tenants],
             last_event: vec![0; n_tenants],
@@ -110,11 +146,11 @@ impl SimCore {
     /// given the earliest replica free time, if `t` has queued work.
     fn candidate(&self, t: usize, free_ns: u64) -> Option<(u64, u64, usize)> {
         let q = &self.queues[t];
-        let head = *q.front()?;
+        let head = q.front()?.arrival_ns;
         let mut ready = head.saturating_add(self.window_ns);
         if q.len() >= self.max_batch {
             // The batch filled when its max_batch-th request arrived.
-            ready = ready.min(q[self.max_batch - 1]);
+            ready = ready.min(q[self.max_batch - 1].arrival_ns);
         }
         Some((ready.max(free_ns), head, t))
     }
@@ -142,17 +178,23 @@ impl SimCore {
             return;
         }
         self.track_depth(a.tenant, a.time_ns);
-        self.queues[a.tenant].push_back(a.time_ns);
+        self.queues[a.tenant].push_back(Req {
+            arrival_ns: a.time_ns,
+            retries: 0,
+        });
         let depth = self.queues[a.tenant].len();
         if depth > self.peak_depth[a.tenant] {
             self.peak_depth[a.tenant] = depth;
         }
     }
 
-    /// The scheduling recurrence: given the minimum replica free time,
-    /// ingest arrivals up to the next dispatch and return that batch, or
-    /// `None` once the workload is drained. Idempotent at exhaustion.
-    pub fn next_batch(&mut self, free_ns: u64) -> Option<BatchJob> {
+    /// Ingest arrivals up to the next dispatch and return its time without
+    /// draining any queue — the failure-aware drivers use this to check
+    /// replica availability *at the dispatch instant* before committing.
+    /// A subsequent [`next_batch`](Self::next_batch) with the same
+    /// `free_ns` returns exactly the peeked batch. Idempotent at
+    /// exhaustion.
+    pub fn peek_dispatch(&mut self, free_ns: u64) -> Option<u64> {
         loop {
             let best = self.best_candidate(free_ns);
             let next = self.arrivals.get(self.cursor).copied();
@@ -162,7 +204,7 @@ impl SimCore {
                     self.cursor += 1;
                     self.ingest(a);
                 }
-                (Some((at, _, t)), next) => {
+                (Some((at, _, _)), next) => {
                     if let Some(a) = next {
                         // Arrivals at the dispatch instant join first.
                         if a.time_ns <= at {
@@ -171,19 +213,57 @@ impl SimCore {
                             continue;
                         }
                     }
-                    let n = self.queues[t].len().min(self.max_batch);
-                    self.track_depth(t, at);
-                    let arrivals: Vec<u64> = self.queues[t].drain(..n).collect();
-                    let index = self.next_index;
-                    self.next_index += 1;
-                    return Some(BatchJob {
-                        index,
-                        tenant: t,
-                        start_ns: at,
-                        arrivals,
-                    });
+                    return Some(at);
                 }
             }
+        }
+    }
+
+    /// The scheduling recurrence: given the minimum replica free time,
+    /// ingest arrivals up to the next dispatch and return that batch, or
+    /// `None` once the workload is drained. Idempotent at exhaustion.
+    pub fn next_batch(&mut self, free_ns: u64) -> Option<BatchJob> {
+        self.peek_dispatch(free_ns)?;
+        let (at, _, t) = self
+            .best_candidate(free_ns)
+            .expect("peeked dispatch vanished");
+        let n = self.queues[t].len().min(self.max_batch);
+        self.track_depth(t, at);
+        let requests: Vec<Req> = self.queues[t].drain(..n).collect();
+        let index = self.next_index;
+        self.next_index += 1;
+        Some(BatchJob {
+            index,
+            tenant: t,
+            start_ns: at,
+            requests,
+        })
+    }
+
+    /// Return a killed batch's requests to the head of their queue (they
+    /// are the oldest outstanding requests, so FIFO order by arrival is
+    /// preserved): a request is retried while its age at `killed_ns` is
+    /// within `deadline_ns`, and dropped as failed otherwise. Retried
+    /// requests keep their original arrival time, so their eventual
+    /// latency spans the failure.
+    pub fn requeue(&mut self, job: BatchJob, killed_ns: u64, deadline_ns: u64) {
+        let t = job.tenant;
+        self.killed_batches[t] += 1;
+        self.track_depth(t, killed_ns);
+        for req in job.requests.into_iter().rev() {
+            if killed_ns.saturating_sub(req.arrival_ns) <= deadline_ns {
+                self.retried[t] += 1;
+                self.queues[t].push_front(Req {
+                    arrival_ns: req.arrival_ns,
+                    retries: req.retries + 1,
+                });
+            } else {
+                self.failed[t] += 1;
+            }
+        }
+        let depth = self.queues[t].len();
+        if depth > self.peak_depth[t] {
+            self.peak_depth[t] = depth;
         }
     }
 
@@ -209,12 +289,12 @@ pub(crate) fn argmin_replica(free: &[u64]) -> usize {
 
 /// Turn a dispatched batch into its completed result.
 pub(crate) fn finish_batch(spec: &TenantSpec, job: BatchJob, completion_ns: u64) -> BatchResult {
-    let n = job.arrivals.len();
+    let n = job.requests.len();
     BatchResult {
         index: job.index,
         tenant: job.tenant,
         completion_ns,
-        arrivals: job.arrivals,
+        requests: job.requests,
         energy_nj: n as f64 * spec.deployment.energy_per_request_nj(),
     }
 }
@@ -222,22 +302,52 @@ pub(crate) fn finish_batch(spec: &TenantSpec, job: BatchJob, completion_ns: u64)
 /// Run the serving simulation on a single thread.
 ///
 /// Same (tenants, workload, config) ⇒ bit-identical [`ServingReport`].
+///
+/// With `cfg.failures` set, the loop additionally consults the replica
+/// outage schedule at every step: a replica that is down at its would-be
+/// dispatch instant fails over (its free time jumps to the recovery edge
+/// and the turn passes to survivors), and a batch whose service window an
+/// outage cuts short is killed at the failure edge, its requests retried
+/// within the deadline or dropped as failed. Outages and service times
+/// are both known at dispatch, so every batch's fate is resolved
+/// synchronously — which is what keeps the multi-worker driver
+/// bit-identical.
 pub fn run_serving(tenants: &[TenantSpec], wl: &Workload, cfg: &ServeConfig) -> ServingReport {
     cfg.validate();
+    let plan = cfg.failure_plan(wl);
     let mut core = SimCore::new(tenants.len(), merge_arrivals(tenants, wl), cfg);
     let mut free = vec![0u64; cfg.replicas];
     let mut batches = Vec::new();
     loop {
         let r = argmin_replica(&free);
-        let Some(job) = core.next_batch(free[r]) else {
+        // Down at the earliest free instant: wait out the outage.
+        if let Some(up) = plan.down_until(r, free[r]) {
+            free[r] = up;
+            continue;
+        }
+        let Some(at) = core.peek_dispatch(free[r]) else {
             break;
         };
+        // Down at the dispatch instant: fail over without touching queues.
+        if let Some(up) = plan.down_until(r, at) {
+            free[r] = up;
+            continue;
+        }
+        let job = core.next_batch(free[r]).expect("peeked batch vanished");
         let spec = &tenants[job.tenant];
-        let completion = job.start_ns + spec.deployment.service_ns(job.arrivals.len());
-        free[r] = completion;
-        batches.push(finish_batch(spec, job, completion));
+        let completion = job.start_ns + spec.deployment.service_ns(job.requests.len());
+        match plan.outage_in(r, job.start_ns, completion) {
+            Some(o) => {
+                free[r] = o.up_ns;
+                core.requeue(job, o.down_ns, cfg.retry_deadline_ns);
+            }
+            None => {
+                free[r] = completion;
+                batches.push(finish_batch(spec, job, completion));
+            }
+        }
     }
-    assemble_report(tenants, wl, cfg, &core, &batches)
+    assemble_report(tenants, wl, cfg, &core, &batches, &plan)
 }
 
 #[cfg(test)]
@@ -398,5 +508,109 @@ mod tests {
         // Symmetric tenants under a shared replica: both make progress.
         assert!(r.tenants[0].completed > 0);
         assert!(r.tenants[1].completed > 0);
+    }
+
+    /// A failure spec aggressive enough to kill batches mid-service.
+    fn flaky(seed: u64) -> crate::failure::FailureSpec {
+        crate::failure::FailureSpec {
+            mtbf_ns: 2_000_000,
+            mttr_ns: 400_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn failure_free_runs_report_zero_failure_accounting() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(42, 1_000.0, t[0].rate_rps);
+        let r = run_serving(&t, &w, &ServeConfig::default());
+        let s = &r.tenants[0];
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.retried, 0);
+        assert_eq!(s.degraded_completed, 0);
+        assert_eq!(s.killed_batches, 0);
+        assert_eq!(r.total_failed, 0);
+        assert_eq!(r.total_retried, 0);
+        assert!(r.replica_downtime_ns.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn failures_cause_kills_retries_and_conserve_requests() {
+        let t = vec![tenant_at_load(0.7, 10.0), tenant_at_load(0.3, 10.0)];
+        let w = wl(5, 2_000.0, t[0].rate_rps + t[1].rate_rps);
+        let cfg = ServeConfig {
+            replicas: 2,
+            failures: Some(flaky(17)),
+            ..ServeConfig::default()
+        };
+        let r = run_serving(&t, &w, &cfg);
+        let killed: u64 = r.tenants.iter().map(|s| s.killed_batches).sum();
+        assert!(killed > 0, "aggressive failures should kill batches");
+        assert!(r.total_retried > 0);
+        assert!(r.replica_downtime_ns.iter().any(|&d| d > 0));
+        for s in &r.tenants {
+            assert_eq!(
+                s.completed + s.rejected + s.failed,
+                s.submitted,
+                "request conservation for {}",
+                s.name
+            );
+            assert!(s.degraded_completed <= s.completed);
+        }
+        // Retried-but-completed requests surface as degraded service.
+        let degraded: u64 = r.tenants.iter().map(|s| s.degraded_completed).sum();
+        assert!(degraded > 0);
+    }
+
+    #[test]
+    fn zero_retry_deadline_drops_every_killed_request() {
+        let t = vec![tenant_at_load(0.7, 10.0)];
+        let w = wl(5, 1_500.0, t[0].rate_rps);
+        let cfg = ServeConfig {
+            failures: Some(flaky(17)),
+            retry_deadline_ns: 0,
+            ..ServeConfig::default()
+        };
+        let r = run_serving(&t, &w, &cfg);
+        let s = &r.tenants[0];
+        assert!(s.killed_batches > 0);
+        assert!(s.failed > 0, "no deadline headroom: kills become failures");
+        assert_eq!(s.retried, 0);
+        assert_eq!(s.degraded_completed, 0);
+        assert_eq!(s.completed + s.rejected + s.failed, s.submitted);
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic_and_seed_sensitive() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(8, 1_000.0, t[0].rate_rps);
+        let mk = |seed| ServeConfig {
+            replicas: 2,
+            failures: Some(flaky(seed)),
+            ..ServeConfig::default()
+        };
+        let a = run_serving(&t, &w, &mk(1));
+        let b = run_serving(&t, &w, &mk(1));
+        let c = run_serving(&t, &w, &mk(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn failures_never_improve_service() {
+        let t = vec![tenant_at_load(0.8, 6.0)];
+        let w = wl(3, 2_000.0, t[0].rate_rps);
+        let healthy = run_serving(&t, &w, &ServeConfig::default());
+        let failing = run_serving(
+            &t,
+            &w,
+            &ServeConfig {
+                failures: Some(flaky(9)),
+                ..ServeConfig::default()
+            },
+        );
+        assert!(failing.tenants[0].slo_attainment <= healthy.tenants[0].slo_attainment);
+        assert!(failing.makespan_ns >= healthy.makespan_ns);
+        assert!(failing.total_completed <= healthy.total_completed);
     }
 }

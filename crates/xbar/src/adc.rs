@@ -19,7 +19,10 @@ pub struct Adc {
 impl Adc {
     /// Build an ADC of the given resolution (2..=16 bits).
     pub fn new(bits: u32) -> Self {
-        assert!((2..=16).contains(&bits), "unsupported ADC resolution {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "unsupported ADC resolution {bits}"
+        );
         Adc { bits }
     }
 

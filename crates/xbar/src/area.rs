@@ -55,9 +55,7 @@ mod tests {
     fn area_is_linear_in_allocation() {
         let p = CostParams::default();
         let s = XbarShape::new(72, 64);
-        assert!(
-            (crossbar_area(10, s, &p) - 10.0 * crossbar_area(1, s, &p)).abs() < 1e-6
-        );
+        assert!((crossbar_area(10, s, &p) - 10.0 * crossbar_area(1, s, &p)).abs() < 1e-6);
         assert!((tile_overhead_area(3, &p) - 3.0 * p.a_tile).abs() < 1e-9);
     }
 

@@ -72,11 +72,20 @@ impl Crossbar {
         cell_bits: u32,
     ) -> Self {
         assert!((2..=16).contains(&weight_bits));
-        assert!(cell_bits >= 1 && weight_bits % cell_bits == 0, "cell bits must divide weight bits");
+        assert!(
+            cell_bits >= 1 && weight_bits % cell_bits == 0,
+            "cell bits must divide weight bits"
+        );
         let rows_used = weights.len();
-        assert!(rows_used <= shape.rows as usize, "weights taller than crossbar");
+        assert!(
+            rows_used <= shape.rows as usize,
+            "weights taller than crossbar"
+        );
         let cols_used = weights.first().map_or(0, |r| r.len());
-        assert!(cols_used <= shape.cols as usize, "weights wider than crossbar");
+        assert!(
+            cols_used <= shape.cols as usize,
+            "weights wider than crossbar"
+        );
         let offset = 1_i64 << (weight_bits - 1);
         let n_planes = (weight_bits / cell_bits) as usize;
         let level_mask = (1_u64 << cell_bits) - 1;
@@ -191,7 +200,10 @@ mod tests {
 
     fn reference(weights: &[Vec<i32>], input: &[u8]) -> Vec<i64> {
         let xi: Vec<i32> = input.iter().map(|&x| x as i32).collect();
-        mvm_i32(weights, &xi).into_iter().map(|v| v as i64).collect()
+        mvm_i32(weights, &xi)
+            .into_iter()
+            .map(|v| v as i64)
+            .collect()
     }
 
     #[test]
@@ -302,7 +314,11 @@ mod tests {
             let xb = Crossbar::program_with_cells(XbarShape::square(32), &w, 8, cell_bits);
             assert_eq!(xb.mvm(&input, &adc), expect, "cell_bits {cell_bits}");
             if cell_bits <= 4 {
-                assert_eq!(xb.mvm(&input, &Adc::new(10)), expect, "10-bit, cell_bits {cell_bits}");
+                assert_eq!(
+                    xb.mvm(&input, &Adc::new(10)),
+                    expect,
+                    "10-bit, cell_bits {cell_bits}"
+                );
             }
         }
     }

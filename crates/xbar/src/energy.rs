@@ -48,7 +48,8 @@ pub fn dynamic_counts(layer: &Layer, fp: &Footprint, p: &CostParams) -> DynamicC
     let adc = cycles * fp.total_xbars() * fp.shape.cols as u64 * slices;
     let dac = cycles * fp.xb_rows as u64 * fp.shape.rows as u64;
     let cells = cycles * fp.used_cells * slices;
-    let buffer = layer.presentations() as u64 * (layer.weight_rows() as u64 + layer.weight_cols() as u64);
+    let buffer =
+        layer.presentations() as u64 * (layer.weight_rows() as u64 + layer.weight_cols() as u64);
     DynamicCounts {
         adc_conversions: adc,
         dac_conversions: dac,

@@ -64,7 +64,11 @@ mod tests {
         p.input_bits = 4;
         let t4 = layer_latency_ns(&l, &fp, &p);
         assert!((t8 / t4 - 2.0).abs() < 1e-9);
-        assert!((t8 / (l.presentations() as f64) - 8.0 * cycle_time_ns(&fp, &CostParams::default())).abs() < 1e-6);
+        assert!(
+            (t8 / (l.presentations() as f64) - 8.0 * cycle_time_ns(&fp, &CostParams::default()))
+                .abs()
+                < 1e-6
+        );
     }
 
     #[test]

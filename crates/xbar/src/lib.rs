@@ -21,6 +21,9 @@
 //!   integer MVM whenever bitline sums stay inside ADC range.
 //! - [`noise`]: beyond-paper non-idealities (conductance variation,
 //!   stuck-at faults) for robustness studies.
+//! - [`fault`]: beyond-paper component-level hard faults (dead crossbars,
+//!   degraded ADCs, spare crossbars) — the seeded [`fault::FaultMap`] the
+//!   accel crate's repair machinery consumes.
 
 pub mod adc;
 pub mod area;
@@ -28,6 +31,7 @@ pub mod cost;
 pub mod crossbar;
 pub mod dac;
 pub mod energy;
+pub mod fault;
 pub mod geometry;
 pub mod latency;
 pub mod noise;
@@ -38,5 +42,6 @@ pub use adc::Adc;
 pub use cost::CostParams;
 pub use crossbar::Crossbar;
 pub use energy::LayerEnergy;
+pub use fault::{ComponentHealth, FaultMap, FaultRates};
 pub use geometry::XbarShape;
 pub use utilization::Footprint;

@@ -203,10 +203,19 @@ mod tests {
     #[test]
     fn utilization_is_never_above_one() {
         for shape in crate::geometry::all_candidates() {
-            for &(cin, cout, k) in &[(1usize, 1usize, 1usize), (3, 64, 3), (512, 512, 3), (2048, 1000, 1), (3, 64, 7)] {
+            for &(cin, cout, k) in &[
+                (1usize, 1usize, 1usize),
+                (3, 64, 3),
+                (512, 512, 3),
+                (2048, 1000, 1),
+                (3, 64, 7),
+            ] {
                 let l = Layer::conv(0, cin, cout, k, 1, k / 2, 224);
                 let u = utilization(&l, shape);
-                assert!(u > 0.0 && u <= 1.0 + 1e-12, "u={u} for {shape} {cin},{cout},{k}");
+                assert!(
+                    u > 0.0 && u <= 1.0 + 1e-12,
+                    "u={u} for {shape} {cin},{cout},{k}"
+                );
             }
         }
     }
@@ -243,8 +252,6 @@ mod tests {
         // The whole point of RXBs (§3.3): multiples-of-9 heights waste no
         // rows on 3×3 kernels.
         let l = Layer::conv(0, 64, 64, 3, 1, 1, 16);
-        assert!(
-            utilization(&l, XbarShape::new(72, 64)) > utilization(&l, XbarShape::square(64))
-        );
+        assert!(utilization(&l, XbarShape::new(72, 64)) > utilization(&l, XbarShape::square(64)));
     }
 }

@@ -50,7 +50,10 @@ fn main() {
 
     run("ideal", NoiseModel::ideal());
     for sigma in [0.01, 0.05, 0.1, 0.3] {
-        run(&format!("variation sigma={sigma}"), NoiseModel::variation(sigma));
+        run(
+            &format!("variation sigma={sigma}"),
+            NoiseModel::variation(sigma),
+        );
     }
     for p in [0.001, 0.01, 0.05] {
         run(

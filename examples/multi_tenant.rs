@@ -10,7 +10,7 @@
 //! ```
 
 use autohet::multi_model::{co_search, concat_models};
-use autohet::persist::{save_strategy, load_strategy};
+use autohet::persist::{load_strategy, save_strategy};
 use autohet::prelude::*;
 use autohet_rl::DdpgConfig;
 
@@ -42,7 +42,10 @@ fn main() {
     }
     let baseline = evaluate(&joint_model, &stitched, &cfg.with_tile_sharing());
 
-    println!("\n{:>22} {:>10} {:>8} {:>12}", "deployment", "RUE", "util %", "tiles");
+    println!(
+        "\n{:>22} {:>10} {:>8} {:>12}",
+        "deployment", "RUE", "util %", "tiles"
+    );
     println!(
         "{:>22} {:>10.3e} {:>8.1} {:>12}",
         "side-by-side homo",
@@ -66,8 +69,12 @@ fn main() {
     let dir = std::env::temp_dir();
     for (m, strategy) in models.iter().zip(&outcome.strategies) {
         let path = dir.join(format!("autohet_{}.strategy", m.name.to_lowercase()));
-        save_strategy(&path, strategy, &format!("{} ({} layers)", m.name, m.layers.len()))
-            .expect("write strategy");
+        save_strategy(
+            &path,
+            strategy,
+            &format!("{} ({} layers)", m.name, m.layers.len()),
+        )
+        .expect("write strategy");
         let reloaded = load_strategy(&path).expect("read strategy");
         assert_eq!(&reloaded, strategy);
         println!("saved {} -> {}", m.name, path.display());

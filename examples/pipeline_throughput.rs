@@ -28,9 +28,23 @@ fn main() {
     let report = pipeline_report(&model, &outcome.best_strategy, &cfg);
 
     println!("per-stage latency (ns), {}:", model.name);
-    for (i, (s, shape)) in report.stage_ns.iter().zip(&outcome.best_strategy).enumerate() {
-        let marker = if i == report.bottleneck_layer { "  <- bottleneck" } else { "" };
-        println!("  L{:<2} [{:>8}] {:>12.0}{marker}", i + 1, shape.to_string(), s);
+    for (i, (s, shape)) in report
+        .stage_ns
+        .iter()
+        .zip(&outcome.best_strategy)
+        .enumerate()
+    {
+        let marker = if i == report.bottleneck_layer {
+            "  <- bottleneck"
+        } else {
+            ""
+        };
+        println!(
+            "  L{:<2} [{:>8}] {:>12.0}{marker}",
+            i + 1,
+            shape.to_string(),
+            s
+        );
     }
     println!(
         "\nfill latency {:.3e} ns, bottleneck {:.3e} ns, steady-state {:.1} inferences/s",
@@ -50,10 +64,7 @@ fn main() {
     let plan = balance_replication(&report, 1.0, 8);
     let after = replicated_stages(&report, &plan);
     let new_bottleneck = after.iter().cloned().fold(f64::MIN, f64::max);
-    println!(
-        "  factors: {:?}",
-        plan.factors
-    );
+    println!("  factors: {:?}", plan.factors);
     println!(
         "  bottleneck {:.3e} -> {:.3e} ns ({:.2}x throughput) for {} extra crossbars",
         report.bottleneck_ns,

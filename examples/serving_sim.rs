@@ -42,6 +42,8 @@ fn main() {
         max_batch: 8,
         batch_window_ns: 500_000,
         queue_depth: 48,
+        failures: None,
+        retry_deadline_ns: 100_000_000,
     };
     let homo = [deploy(&alexnet, false, &cfg), deploy(&lenet, false, &cfg)];
     let rates = [0.9 * homo[0].max_rate_rps(), 0.6 * homo[1].max_rate_rps()];

@@ -64,7 +64,8 @@ fn main() {
     }
     println!(
         "\nutilization of allocated crossbars: {:.1}% -> {:.1}%",
-        alloc.occupied_xbars() as f64 / (report.tiles_before as u64 * capacity as u64) as f64 * 100.0,
+        alloc.occupied_xbars() as f64 / (report.tiles_before as u64 * capacity as u64) as f64
+            * 100.0,
         alloc.occupied_xbars() as f64 / alloc.allocated_xbars() as f64 * 100.0
     );
 }

@@ -26,7 +26,10 @@ fn main() {
         ..RlSearchConfig::default()
     };
 
-    println!("ablation on {} ({} episodes per stage)\n", model.name, episodes);
+    println!(
+        "ablation on {} ({} episodes per stage)\n",
+        model.name, episodes
+    );
     let results = run_ablation(&model, &scfg);
 
     println!(
@@ -45,7 +48,10 @@ fn main() {
     }
 
     println!("\nper-layer crossbar sizes (paper Table 3):");
-    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "layer", "Base", "+He", "+Hy", "All");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "layer", "Base", "+He", "+Hy", "All"
+    );
     for i in 0..model.layers.len() {
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>10}",

@@ -86,7 +86,11 @@ fn tile_sharing_helps_every_paper_model() {
             &strategy,
             &AccelConfig::default().with_tile_sharing(),
         );
-        assert!(shared.tiles < plain.tiles, "{}: sharing freed no tiles", model.name);
+        assert!(
+            shared.tiles < plain.tiles,
+            "{}: sharing freed no tiles",
+            model.name
+        );
         assert!(shared.utilization > plain.utilization);
         assert!(shared.rue() >= plain.rue());
     }

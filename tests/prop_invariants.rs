@@ -14,7 +14,11 @@ use proptest::prelude::*;
 
 /// Arbitrary plausible conv-layer geometry.
 fn arb_layer() -> impl Strategy<Value = Layer> {
-    (1usize..=64, 1usize..=96, prop_oneof![Just(1usize), Just(3), Just(5), Just(7)])
+    (
+        1usize..=64,
+        1usize..=96,
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+    )
         .prop_map(|(cin, cout, k)| Layer::conv(0, cin, cout, k, 1, k / 2, 32))
 }
 
