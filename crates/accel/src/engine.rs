@@ -32,6 +32,7 @@ use autohet_xbar::{area, XbarShape};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cached per-(layer, shape) evaluation slice.
@@ -115,6 +116,48 @@ impl EngineStats {
             layer_hits: self.layer_hits.saturating_sub(earlier.layer_hits),
             layer_misses: self.layer_misses.saturating_sub(earlier.layer_misses),
         }
+    }
+
+    /// Combined hit rate over both cache layers (strategy + layer-slice
+    /// lookups); 0.0 when no lookups happened.
+    pub fn combined_hit_rate(&self) -> f64 {
+        let hits = self.strategy_hits + self.layer_hits;
+        let total = hits + self.strategy_misses + self.layer_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        hits as f64 / total as f64
+    }
+
+    /// Mirror these counters into `registry` under `prefix` (e.g.
+    /// `prefix = "engine"` publishes `engine.strategy_hits`, ...). Counters
+    /// are cumulative, so publish cumulative snapshots — not deltas.
+    pub fn publish(&self, registry: &autohet_obs::Registry, prefix: &str) {
+        let set = |name: &str, v: u64| {
+            let c = registry.counter(&format!("{prefix}.{name}"));
+            c.add(v.saturating_sub(c.get()));
+        };
+        set("strategy_hits", self.strategy_hits);
+        set("strategy_misses", self.strategy_misses);
+        set("layer_hits", self.layer_hits);
+        set("layer_misses", self.layer_misses);
+    }
+}
+
+impl fmt::Display for EngineStats {
+    /// One-line cache summary, e.g.
+    /// `strategy 12/300 hits (4.0%), layer 4560/4800 hits (95.0%)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "strategy {}/{} hits ({:.1}%), layer {}/{} hits ({:.1}%)",
+            self.strategy_hits,
+            self.strategy_hits + self.strategy_misses,
+            100.0 * self.strategy_hit_rate(),
+            self.layer_hits,
+            self.layer_hits + self.layer_misses,
+            100.0 * self.layer_hit_rate(),
+        )
     }
 }
 
@@ -207,6 +250,7 @@ impl EvalEngine {
     /// Evaluate `strategy`, serving repeats from the strategy cache.
     /// Bit-identical to `evaluate(model, strategy, cfg)`.
     pub fn evaluate(&self, strategy: &[XbarShape]) -> EvalReport {
+        let _span = autohet_obs::trace::span("engine.evaluate");
         if let Some(hit) = self.strategies.lock().get(strategy) {
             self.strategy_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
@@ -289,6 +333,7 @@ impl EvalEngine {
         rates: FaultRates,
         policy: &RepairPolicy,
     ) -> FaultedEvalReport {
+        let _span = autohet_obs::trace::span("engine.evaluate_faulted");
         assert_eq!(
             strategy.len(),
             self.model.layers.len(),
@@ -333,6 +378,7 @@ impl EvalEngine {
     }
 
     fn compose(&self, strategy: &[XbarShape]) -> EvalReport {
+        let _span = autohet_obs::trace::span("engine.compose");
         assert_eq!(
             strategy.len(),
             self.model.layers.len(),
@@ -565,6 +611,28 @@ mod tests {
         assert!(faulted.eval.area_um2 > healthy.area_um2);
         // Idle spares do not leak.
         assert_eq!(faulted.eval.energy_nj(), healthy.energy_nj());
+    }
+
+    #[test]
+    fn stats_display_and_registry_publish() {
+        let stats = EngineStats {
+            strategy_hits: 1,
+            strategy_misses: 3,
+            layer_hits: 9,
+            layer_misses: 1,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "strategy 1/4 hits (25.0%), layer 9/10 hits (90.0%)"
+        );
+        assert!((stats.combined_hit_rate() - 10.0 / 14.0).abs() < 1e-12);
+        let reg = autohet_obs::Registry::new();
+        stats.publish(&reg, "engine");
+        // Publishing the same cumulative snapshot twice is idempotent.
+        stats.publish(&reg, "engine");
+        assert_eq!(reg.counter("engine.strategy_hits").get(), 1);
+        assert_eq!(reg.counter("engine.layer_hits").get(), 9);
+        assert_eq!(reg.counter("engine.layer_misses").get(), 1);
     }
 
     #[test]

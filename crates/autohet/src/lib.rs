@@ -37,6 +37,8 @@
 //! - [`studies`]: beyond-paper ablations, including
 //!   [`studies::serving_study`] — searched strategies behind the
 //!   `autohet-serve` multi-tenant queueing simulator.
+//! - [`telemetry`]: bridges from search histories to the `autohet-obs`
+//!   observability substrate (episode time series, metric mirroring).
 
 pub mod ablation;
 pub mod env;
@@ -48,6 +50,7 @@ pub mod persist;
 pub mod search;
 pub mod sensitivity;
 pub mod studies;
+pub mod telemetry;
 
 /// Everything a typical user needs.
 pub mod prelude {
@@ -59,24 +62,27 @@ pub mod prelude {
     };
     pub use crate::par::par_map;
     pub use crate::search::annealing::{
-        annealing_search, annealing_search_with_engine, AnnealingConfig,
+        annealing_search, annealing_search_with_engine, AnnealingConfig, AnnealingOutcome,
     };
-    pub use crate::search::dqn::{dqn_search, DqnSearchConfig};
+    pub use crate::search::dqn::{
+        dqn_search, dqn_search_with_engine, DqnSearchConfig, DqnSearchOutcome,
+    };
     pub use crate::search::exhaustive::{
         exhaustive_search, exhaustive_search_serial, exhaustive_search_with_engine,
     };
     pub use crate::search::greedy::{
         greedy_layerwise_rue, greedy_layerwise_rue_with_engine, greedy_utilization,
-        greedy_utilization_with_engine,
+        greedy_utilization_with_engine, GreedyOutcome,
     };
     pub use crate::search::random::{random_search, random_search_with_engine};
     pub use crate::search::rl::{
-        rl_search, rl_search_multi_seed, rl_search_with_engine, RlSearchConfig, SearchOutcome,
-        SearchTiming,
+        rl_search, rl_search_multi_seed, rl_search_with_engine, EpisodeRecord, RlSearchConfig,
+        SearchOutcome, SearchTiming,
     };
     pub use crate::studies::{
         fault_campaign, serving_study, FaultCampaignConfig, FaultCampaignReport, FaultCampaignRow,
     };
+    pub use crate::telemetry::{episode_series, publish_episode_history, EPISODE_COLUMNS};
     pub use autohet_accel::{
         evaluate, AccelConfig, DegradationMode, EngineStats, EvalEngine, EvalReport,
         FaultedEvalReport, RepairPolicy,

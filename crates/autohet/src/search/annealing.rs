@@ -8,12 +8,14 @@
 //! AutoHet's win comes from *learning* layer features versus merely
 //! *searching* the space.
 
+use crate::search::rl::{EpisodeRecord, SearchTiming};
 use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Annealer hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,13 +41,33 @@ impl Default for AnnealingConfig {
     }
 }
 
+/// Result of an annealing run: the best strategy visited plus the full
+/// per-iteration trajectory in the same [`EpisodeRecord`] shape the RL
+/// searches emit (`episode` = iteration, `reward` = relative RUE delta of
+/// the proposal against the incumbent).
+#[derive(Debug, Clone)]
+pub struct AnnealingOutcome {
+    pub best_strategy: Vec<XbarShape>,
+    pub best_report: EvalReport,
+    pub history: Vec<EpisodeRecord>,
+    /// Stage timing and the evaluation-cache delta of this search.
+    pub timing: SearchTiming,
+}
+
+impl AnnealingOutcome {
+    /// Best raw RUE found.
+    pub fn best_rue(&self) -> f64 {
+        self.best_report.rue()
+    }
+}
+
 /// Run simulated annealing; returns the best strategy visited.
 pub fn annealing_search(
     model: &Model,
     candidates: &[XbarShape],
     cfg: &AccelConfig,
     acfg: &AnnealingConfig,
-) -> (Vec<XbarShape>, EvalReport) {
+) -> AnnealingOutcome {
     let engine = EvalEngine::new(model.clone(), *cfg);
     annealing_search_with_engine(&engine, candidates, acfg)
 }
@@ -57,8 +79,11 @@ pub fn annealing_search_with_engine(
     engine: &EvalEngine,
     candidates: &[XbarShape],
     acfg: &AnnealingConfig,
-) -> (Vec<XbarShape>, EvalReport) {
+) -> AnnealingOutcome {
     assert!(!candidates.is_empty() && acfg.iterations >= 1);
+    let _span = autohet_obs::trace::span("search.annealing");
+    let t0 = Instant::now();
+    let stats0 = engine.stats();
     let n = engine.model().layers.len();
     let mut rng = SmallRng::seed_from_u64(acfg.seed ^ 0xA44E);
 
@@ -67,9 +92,14 @@ pub fn annealing_search_with_engine(
     let mut current_report = engine.evaluate(&current);
     let mut best = (current.clone(), current_report.clone());
     let mut temp = acfg.t0;
+    let mut history = Vec::with_capacity(acfg.iterations);
+    let mut timing = SearchTiming::default();
 
-    for _ in 0..acfg.iterations {
+    for episode in 0..acfg.iterations {
+        let _ep_span = autohet_obs::trace::span("search.episode");
+        let ep_stats = engine.stats();
         // Propose: re-roll one layer's shape.
+        let ta = Instant::now();
         let li = rng.gen_range(0..n);
         let old = current[li];
         let mut pick = candidates[rng.gen_range(0..candidates.len())];
@@ -79,10 +109,22 @@ pub fn annealing_search_with_engine(
             }
         }
         current[li] = pick;
+        timing.agent += ta.elapsed();
+
+        let ts = Instant::now();
         let proposal = engine.evaluate(&current);
+        timing.simulator += ts.elapsed();
 
         // Relative RUE improvement (positive = better).
         let delta = (proposal.rue() - current_report.rue()) / current_report.rue();
+        history.push(EpisodeRecord {
+            episode,
+            rue: proposal.rue(),
+            reward: delta,
+            utilization: proposal.utilization,
+            energy_nj: proposal.energy_nj(),
+            cache_hit_rate: engine.stats().since(&ep_stats).combined_hit_rate(),
+        });
         let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temp.max(1e-12)).exp();
         if accept {
             current_report = proposal;
@@ -94,7 +136,14 @@ pub fn annealing_search_with_engine(
         }
         temp *= acfg.cooling;
     }
-    best
+    timing.total = t0.elapsed();
+    timing.cache = engine.stats().since(&stats0);
+    AnnealingOutcome {
+        best_strategy: best.0,
+        best_report: best.1,
+        history,
+        timing,
+    }
 }
 
 #[cfg(test)]
@@ -114,10 +163,16 @@ mod tests {
             seed: 2,
             ..AnnealingConfig::default()
         };
-        let (s1, r1) = annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg);
-        let (s2, r2) = annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg);
-        assert_eq!(s1, s2);
-        assert_eq!(r1.rue(), r2.rue());
+        let a = annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg);
+        let b = annealing_search(&m, &paper_hybrid_candidates(), &cfg, &acfg);
+        assert_eq!(a.best_strategy, b.best_strategy);
+        assert_eq!(a.best_rue(), b.best_rue());
+        assert_eq!(a.history.len(), 40);
+        assert_eq!(b.history.len(), 40);
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.rue, y.rue);
+            assert_eq!(x.reward, y.reward);
+        }
     }
 
     #[test]
@@ -126,7 +181,7 @@ mod tests {
         let cfg = AccelConfig::default();
         let cands = paper_hybrid_candidates();
         let (_, oracle) = exhaustive_search(&m, &cands, &cfg, 1_000);
-        let (_, sa) = annealing_search(
+        let sa = annealing_search(
             &m,
             &cands,
             &cfg,
@@ -137,11 +192,18 @@ mod tests {
             },
         );
         assert!(
-            sa.rue() >= oracle.rue() * 0.9,
+            sa.best_rue() >= oracle.rue() * 0.9,
             "sa {} oracle {}",
-            sa.rue(),
+            sa.best_rue(),
             oracle.rue()
         );
+        // The mutate-one-layer proposal loop revisits cached states, so
+        // the per-run cache delta must show real hits.
+        assert!(sa.timing.cache.layer_hits > 0);
+        assert!(sa
+            .history
+            .iter()
+            .all(|e| (0.0..=1.0).contains(&e.cache_hit_rate)));
     }
 
     #[test]
@@ -150,7 +212,7 @@ mod tests {
         let cfg = AccelConfig::default();
         let cands = paper_hybrid_candidates();
         let start = evaluate(&m, &vec![cands[cands.len() / 2]; m.layers.len()], &cfg);
-        let (_, sa) = annealing_search(
+        let sa = annealing_search(
             &m,
             &cands,
             &cfg,
@@ -160,7 +222,7 @@ mod tests {
                 ..AnnealingConfig::default()
             },
         );
-        assert!(sa.rue() >= start.rue());
+        assert!(sa.best_rue() >= start.rue());
     }
 
     #[test]
@@ -168,7 +230,7 @@ mod tests {
         let m = zoo::micro_cnn();
         let cfg = AccelConfig::default();
         let cands = vec![XbarShape::square(64)];
-        let (s, _) = annealing_search(&m, &cands, &cfg, &AnnealingConfig::default());
-        assert!(s.iter().all(|&x| x == XbarShape::square(64)));
+        let sa = annealing_search(&m, &cands, &cfg, &AnnealingConfig::default());
+        assert!(sa.best_strategy.iter().all(|&x| x == XbarShape::square(64)));
     }
 }

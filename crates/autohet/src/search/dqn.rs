@@ -8,12 +8,14 @@
 //! environment and reward do the heavy lifting).
 
 use crate::env::AutoHetEnv;
-use crate::search::rl::EpisodeRecord;
-use autohet_accel::{AccelConfig, EvalReport};
+use crate::search::rl::{EpisodeRecord, SearchTiming};
+use autohet_accel::{AccelConfig, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_rl::{DiscreteExperience, Dqn, DqnConfig};
 use autohet_xbar::XbarShape;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// DQN search hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,6 +44,8 @@ pub struct DqnSearchOutcome {
     pub best_strategy: Vec<XbarShape>,
     pub best_report: EvalReport,
     pub history: Vec<EpisodeRecord>,
+    /// Stage timing and the evaluation-cache delta of this search.
+    pub timing: SearchTiming,
 }
 
 impl DqnSearchOutcome {
@@ -58,7 +62,29 @@ pub fn dqn_search(
     cfg: &AccelConfig,
     scfg: &DqnSearchConfig,
 ) -> DqnSearchOutcome {
-    let env = AutoHetEnv::new(model, candidates, *cfg);
+    dqn_search_with_engine(
+        model,
+        candidates,
+        cfg,
+        scfg,
+        Arc::new(EvalEngine::new(model.clone(), *cfg)),
+    )
+}
+
+/// [`dqn_search`] on an existing (possibly shared) evaluation engine.
+/// Cached feedback is bit-identical to direct evaluation, so the outcome
+/// for a fixed seed is independent of the engine's prior contents.
+pub fn dqn_search_with_engine(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &DqnSearchConfig,
+    engine: Arc<EvalEngine>,
+) -> DqnSearchOutcome {
+    let _span = autohet_obs::trace::span("search.dqn");
+    let t0 = Instant::now();
+    let stats0 = engine.stats();
+    let env = AutoHetEnv::with_shared_engine(model, candidates, *cfg, (1.0, 1.0), engine);
     let n = env.num_layers();
     let c = candidates.len();
     let mut agent = Dqn::new(DqnConfig {
@@ -69,8 +95,12 @@ pub fn dqn_search(
 
     let mut best: Option<(Vec<XbarShape>, EvalReport)> = None;
     let mut history = Vec::with_capacity(scfg.episodes);
+    let mut timing = SearchTiming::default();
 
     for episode in 0..scfg.episodes {
+        let _ep_span = autohet_obs::trace::span("search.episode");
+        let ep_stats = env.engine().stats();
+        let ta = Instant::now();
         let mut actions = Vec::with_capacity(n);
         let mut states = Vec::with_capacity(n + 1);
         let (mut prev_a, mut prev_u) = (0.0, 0.0);
@@ -89,10 +119,13 @@ pub fn dqn_search(
             actions.push(idx);
         }
         states.push(env.state(n - 1, prev_a, prev_u));
+        timing.agent += ta.elapsed();
 
+        let ts = Instant::now();
         let strategy: Vec<XbarShape> = actions.iter().map(|&i| candidates[i]).collect();
         let report = env.evaluate_strategy(&strategy);
         let reward = env.reward(&report);
+        timing.simulator += ts.elapsed();
 
         history.push(EpisodeRecord {
             episode,
@@ -100,11 +133,13 @@ pub fn dqn_search(
             reward,
             utilization: report.utilization,
             energy_nj: report.energy_nj(),
+            cache_hit_rate: env.engine().stats().since(&ep_stats).combined_hit_rate(),
         });
         if best.as_ref().map_or(true, |(_, b)| report.rue() > b.rue()) {
             best = Some((strategy, report));
         }
 
+        let ta = Instant::now();
         for k in 0..n {
             agent.remember(DiscreteExperience {
                 state: states[k].clone(),
@@ -118,13 +153,17 @@ pub fn dqn_search(
         for _ in 0..scfg.train_steps {
             agent.train_step();
         }
+        timing.agent += ta.elapsed();
     }
 
+    timing.total = t0.elapsed();
+    timing.cache = env.engine().stats().since(&stats0);
     let (best_strategy, best_report) = best.expect("episodes >= 1");
     DqnSearchOutcome {
         best_strategy,
         best_report,
         history,
+        timing,
     }
 }
 

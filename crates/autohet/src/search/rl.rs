@@ -76,6 +76,12 @@ pub struct EpisodeRecord {
     pub utilization: f64,
     /// Total energy [nJ].
     pub energy_nj: f64,
+    /// Combined evaluation-cache hit rate over this episode's engine
+    /// lookups (strategy + layer; 0.0 when no lookups happened). On an
+    /// engine shared across concurrent searches the delta includes every
+    /// user active during the episode.
+    #[serde(default)]
+    pub cache_hit_rate: f64,
 }
 
 /// Where the search time went (§4.5's decomposition).
@@ -192,6 +198,7 @@ pub fn rl_search_with_engine(
     scfg: &RlSearchConfig,
     engine: Arc<EvalEngine>,
 ) -> SearchOutcome {
+    let _span = autohet_obs::trace::span("search.rl");
     let t0 = Instant::now();
     let stats0 = engine.stats();
     let env = AutoHetEnv::with_shared_engine(model, candidates, *cfg, scfg.reward_weights, engine);
@@ -210,6 +217,8 @@ pub fn rl_search_with_engine(
     let mut timing = SearchTiming::default();
 
     for episode in 0..scfg.episodes {
+        let _ep_span = autohet_obs::trace::span("search.episode");
+        let ep_stats = env.engine().stats();
         // ---- Decision stage (① – ⑤): assign every layer.
         let ta = Instant::now();
         let mut actions = Vec::with_capacity(n);
@@ -244,6 +253,7 @@ pub fn rl_search_with_engine(
             reward,
             utilization: report.utilization,
             energy_nj: report.energy_nj(),
+            cache_hit_rate: env.engine().stats().since(&ep_stats).combined_hit_rate(),
         });
         // Track the best configuration by the (possibly weighted) search
         // objective; at the default weights this is exactly best-RUE. The
@@ -419,6 +429,19 @@ mod tests {
         assert!((0.0..=1.0).contains(&cache.strategy_hit_rate()));
         // Every full composition corresponds to a strategy-cache miss.
         assert!(cache.full_evaluations() <= 60 + 1); // episodes + reward reference
+
+        // Per-episode hit rates are well-formed, and once the distinct
+        // (layer, shape) pairs are all cached, episodes run mostly hot.
+        assert!(outcome
+            .history
+            .iter()
+            .all(|h| (0.0..=1.0).contains(&h.cache_hit_rate)));
+        let last = outcome.history.last().unwrap();
+        assert!(
+            last.cache_hit_rate > 0.5,
+            "late episodes should be cache-hot, got {}",
+            last.cache_hit_rate
+        );
     }
 
     #[test]

@@ -194,11 +194,12 @@ pub struct ServingStudyRow {
 /// regime where strategy choice shows up as tail latency.
 pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow> {
     assert!(load > 0.0);
+    let _span = autohet_obs::trace::span("study.serving");
     let base = AccelConfig::default();
     let shared = base.with_tile_sharing();
     let (homo_shape, _) = best_homogeneous(model, &base);
     let homo = vec![homo_shape; model.layers.len()];
-    let (het, _) = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base);
+    let het = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base).strategy;
     let configs: [(&str, &[XbarShape], &AccelConfig); 4] = [
         ("homogeneous/tile-based", &homo, &base),
         ("homogeneous/tile-shared", &homo, &shared),
@@ -232,6 +233,7 @@ pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow
     deployments
         .into_iter()
         .map(|d| {
+            let _cell = autohet_obs::trace::span("study.serving_cell");
             let label = d.name.clone();
             let tenant = TenantSpec::new(&label, d, rate, slo_ns);
             let r = run_serving(&[tenant], &wl, &cfg);
@@ -374,6 +376,7 @@ fn campaign_failures(seed: u64, fault_rate: f64) -> Option<FailureSpec> {
 /// Cells are evaluated with [`par_map`]; the report is bit-identical to
 /// a sequential sweep because every cell is independent and seeded.
 pub fn fault_campaign(model: &Model, cfg: &FaultCampaignConfig) -> FaultCampaignReport {
+    let _span = autohet_obs::trace::span("study.fault_campaign");
     assert!(cfg.load > 0.0, "load must be positive");
     assert!(!cfg.fault_rates.is_empty(), "empty fault-rate sweep");
     assert!(cfg.replicas >= 1, "need at least one replica");
@@ -381,7 +384,7 @@ pub fn fault_campaign(model: &Model, cfg: &FaultCampaignConfig) -> FaultCampaign
     let shared = base.with_tile_sharing();
     let (homo_shape, _) = best_homogeneous(model, &base);
     let homo = vec![homo_shape; model.layers.len()];
-    let (het, _) = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base);
+    let het = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base).strategy;
     let configs: [(&str, &[XbarShape], &AccelConfig); 4] = [
         ("homogeneous/tile-based", &homo, &base),
         ("homogeneous/tile-shared", &homo, &shared),
@@ -417,6 +420,7 @@ pub fn fault_campaign(model: &Model, cfg: &FaultCampaignConfig) -> FaultCampaign
         .flat_map(|c| cfg.fault_rates.iter().map(move |&r| (c, r)))
         .collect();
     let rows = par_map(&cells, |&(c, fault_rate)| {
+        let _cell = autohet_obs::trace::span("study.fault_cell");
         let rates = FaultRates {
             dead_xbar: fault_rate,
             degraded_adc: fault_rate / 2.0,

@@ -1,0 +1,126 @@
+//! Bridges from search trajectories to the `autohet-obs` substrate:
+//! per-episode histories as a [`Series`] table and search outcomes
+//! mirrored into a metrics [`Registry`].
+//!
+//! Every search driver ([`rl_search`](crate::search::rl::rl_search),
+//! [`dqn_search`](crate::search::dqn::dqn_search),
+//! [`annealing_search`](crate::search::annealing::annealing_search))
+//! emits the same [`EpisodeRecord`] rows, so one exporter covers all of
+//! them: a DDPG trace and an annealing trace land in the same CSV schema
+//! and can be overlaid directly.
+
+use crate::search::rl::{EpisodeRecord, SearchTiming};
+use autohet_obs::{Registry, Series};
+
+/// Column schema of [`episode_series`] (name, unit), kept in one place so
+/// docs and exporters cannot drift apart.
+pub const EPISODE_COLUMNS: [(&str, &str); 6] = [
+    ("episode", ""),
+    ("rue", ""),
+    ("reward", ""),
+    ("utilization", ""),
+    ("energy", "nJ"),
+    ("cache_hit_rate", ""),
+];
+
+/// A search history as a time-series table (one row per episode, columns
+/// per [`EPISODE_COLUMNS`]). `name` labels the series in exports, e.g.
+/// `"ddpg_episodes"`.
+pub fn episode_series(name: &str, history: &[EpisodeRecord]) -> Series {
+    let mut s = Series::new(name, &EPISODE_COLUMNS);
+    for e in history {
+        s.push(vec![
+            e.episode as f64,
+            e.rue,
+            e.reward,
+            e.utilization,
+            e.energy_nj,
+            e.cache_hit_rate,
+        ]);
+    }
+    s
+}
+
+/// Mirror a search's trajectory and timing into `registry` under
+/// `prefix`: an episode counter, gauges for the best/final RUE seen
+/// (scaled ×1e6 — gauges are integers, RUE values are small), and the
+/// cache counters from the search's [`SearchTiming`] delta.
+pub fn publish_episode_history(
+    history: &[EpisodeRecord],
+    timing: &SearchTiming,
+    registry: &Registry,
+    prefix: &str,
+) {
+    registry
+        .counter(&format!("{prefix}.episodes"))
+        .add(history.len() as u64);
+    let best = history.iter().map(|e| e.rue).fold(f64::NAN, f64::max);
+    if best.is_finite() {
+        registry
+            .gauge(&format!("{prefix}.best_rue_x1e6"))
+            .set((best * 1e6) as i64);
+    }
+    if let Some(last) = history.last() {
+        registry
+            .gauge(&format!("{prefix}.last_rue_x1e6"))
+            .set((last.rue * 1e6) as i64);
+    }
+    let c = |name: &str, v: u64| registry.counter(&format!("{prefix}.{name}")).add(v);
+    c("cache.strategy_hits", timing.cache.strategy_hits);
+    c("cache.strategy_misses", timing.cache.strategy_misses);
+    c("cache.layer_hits", timing.cache.layer_hits);
+    c("cache.layer_misses", timing.cache.layer_misses);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> Vec<EpisodeRecord> {
+        (0..4)
+            .map(|i| EpisodeRecord {
+                episode: i,
+                rue: 0.1 * (i + 1) as f64,
+                reward: i as f64,
+                utilization: 0.5,
+                energy_nj: 1000.0,
+                cache_hit_rate: 0.25 * i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn series_has_one_row_per_episode() {
+        let s = episode_series("ddpg_episodes", &history());
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.columns.len(), EPISODE_COLUMNS.len());
+        let csv = s.to_csv();
+        assert!(csv.starts_with("episode,rue,reward,utilization,energy[nJ],cache_hit_rate"));
+        assert_eq!(csv.lines().count(), 5);
+        assert_eq!(s.to_jsonl().lines().count(), 4);
+    }
+
+    #[test]
+    fn publish_mirrors_counts_and_best() {
+        let reg = Registry::new();
+        let mut timing = SearchTiming::default();
+        timing.cache.strategy_hits = 3;
+        timing.cache.layer_misses = 7;
+        publish_episode_history(&history(), &timing, &reg, "search.ddpg");
+        assert_eq!(reg.counter("search.ddpg.episodes").get(), 4);
+        // Best RUE is 0.4 → 400_000 in the ×1e6 gauge.
+        assert_eq!(reg.gauge("search.ddpg.best_rue_x1e6").get(), 400_000);
+        assert_eq!(reg.gauge("search.ddpg.last_rue_x1e6").get(), 400_000);
+        assert_eq!(reg.counter("search.ddpg.cache.strategy_hits").get(), 3);
+        assert_eq!(reg.counter("search.ddpg.cache.layer_misses").get(), 7);
+    }
+
+    #[test]
+    fn empty_history_publishes_no_gauges() {
+        let reg = Registry::new();
+        publish_episode_history(&[], &SearchTiming::default(), &reg, "x");
+        assert_eq!(reg.counter("x.episodes").get(), 0);
+        let text = reg.to_text();
+        assert!(!text.contains("best_rue"));
+    }
+}

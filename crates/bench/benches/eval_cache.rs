@@ -1,6 +1,9 @@
 //! Criterion bench for the memoized evaluation engine (the search hot
-//! path): cold vs warm engine against direct `evaluate`, and the parallel
-//! vs serial exhaustive driver on the 4-layer test model.
+//! path): cold vs warm engine against direct `evaluate`, the parallel
+//! vs serial exhaustive driver on the 4-layer test model, and the
+//! observability overhead contract — the disabled tracer must add <1%
+//! to the warm-compose path (`tracer_off` vs the uninstrumented
+//! baseline above it; `tracer_on` shows the cost of actually recording).
 
 use autohet::prelude::*;
 use autohet_dnn::zoo;
@@ -35,6 +38,22 @@ fn bench_eval_cache(c: &mut Criterion) {
     c.bench_function("eval_cache/engine_warm_strategy_hit_vgg16", |b| {
         b.iter(|| black_box(warm.evaluate(black_box(&strategy))))
     });
+
+    // Observability overhead: identical workload to engine_warm_compose,
+    // with the tracer explicitly disabled (the no-op default everywhere
+    // outside obs_dump) and then enabled. The off/compose delta is the
+    // contract checked in EXPERIMENTS.md (<1%).
+    let tracer = autohet_obs::trace::global();
+    tracer.disable();
+    c.bench_function("eval_cache/engine_warm_compose_tracer_off", |b| {
+        b.iter(|| black_box(warm.evaluate_fresh(black_box(&strategy))))
+    });
+    tracer.enable(1 << 16);
+    c.bench_function("eval_cache/engine_warm_compose_tracer_on", |b| {
+        b.iter(|| black_box(warm.evaluate_fresh(black_box(&strategy))))
+    });
+    tracer.disable();
+    tracer.drain();
 
     let micro = zoo::micro_cnn();
     let plain = AccelConfig::default();

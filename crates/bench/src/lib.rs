@@ -507,6 +507,10 @@ pub fn search_time(rc: &ReproConfig, model: &Model) -> Table {
         format!("{:.1}", outcome.timing.simulator_fraction() * 100.0),
     ]);
     t.push(vec!["best RUE".into(), sci(outcome.best_rue())]);
+    t.push(vec![
+        "evaluation cache".into(),
+        outcome.timing.cache.to_string(),
+    ]);
     t
 }
 
@@ -518,11 +522,12 @@ pub fn search_time(rc: &ReproConfig, model: &Model) -> Table {
 /// hybrid accelerator at 6–12 ADC bits (the paper fixes 10).
 pub fn study_adc() -> Table {
     let m = zoo::vgg16();
-    let (strategy, _) = autohet::search::greedy::greedy_layerwise_rue(
+    let strategy = autohet::search::greedy::greedy_layerwise_rue(
         &m,
         &paper_hybrid_candidates(),
         &AccelConfig::default(),
-    );
+    )
+    .strategy;
     let mut t = Table::new(
         "Study — ADC resolution (VGG16, hybrid strategy)",
         &["bits", "energy nJ", "area um^2", "RUE", "lossless"],
@@ -624,7 +629,7 @@ pub fn comparators(rc: &ReproConfig, model: &Model) -> Table {
         },
     );
     push("DQN", &dqn.best_report);
-    let (_, sa) = annealing_search(
+    let sa = annealing_search(
         model,
         &cands,
         &cfg,
@@ -634,11 +639,11 @@ pub fn comparators(rc: &ReproConfig, model: &Model) -> Table {
             ..AnnealingConfig::default()
         },
     );
-    push("Annealing", &sa);
-    let (_, gu) = greedy_utilization(model, &cands, &cfg);
-    push("Greedy-util [29]", &gu);
-    let (_, gr) = greedy_layerwise_rue(model, &cands, &cfg);
-    push("Greedy-RUE", &gr);
+    push("Annealing", &sa.best_report);
+    let gu = greedy_utilization(model, &cands, &cfg);
+    push("Greedy-util [29]", &gu.report);
+    let gr = greedy_layerwise_rue(model, &cands, &cfg);
+    push("Greedy-RUE", &gr.report);
     let (_, rnd) = random_search(model, &cands, &cfg, rc.episodes, rc.seed);
     push("Random", &rnd);
     t

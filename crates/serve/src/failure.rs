@@ -149,6 +149,19 @@ impl FailurePlan {
             .sum()
     }
 
+    /// Downtime of one replica overlapping `[from_ns, to_ns)` — the
+    /// per-window downtime column of the serving telemetry.
+    pub fn downtime_in(&self, replica: usize, from_ns: u64, to_ns: u64) -> u64 {
+        self.outages[replica]
+            .iter()
+            .map(|o| {
+                o.up_ns
+                    .min(to_ns)
+                    .saturating_sub(o.down_ns.max(from_ns).min(to_ns))
+            })
+            .sum()
+    }
+
     /// Total outages across the fleet.
     pub fn total_outages(&self) -> u64 {
         self.outages.iter().map(|l| l.len() as u64).sum()
@@ -254,6 +267,32 @@ mod tests {
         assert_eq!(plan.downtime_ns(0, 1_000), 200);
         assert_eq!(plan.downtime_ns(0, 200), 100);
         assert_eq!(plan.downtime_ns(0, 50), 0);
+    }
+
+    #[test]
+    fn interval_downtime_overlaps_exactly() {
+        let plan = FailurePlan {
+            outages: vec![vec![
+                Outage {
+                    down_ns: 100,
+                    up_ns: 300,
+                },
+                Outage {
+                    down_ns: 500,
+                    up_ns: 600,
+                },
+            ]],
+        };
+        assert_eq!(plan.downtime_in(0, 0, 1_000), 300);
+        assert_eq!(plan.downtime_in(0, 0, 100), 0);
+        assert_eq!(plan.downtime_in(0, 150, 250), 100);
+        assert_eq!(plan.downtime_in(0, 200, 550), 150);
+        assert_eq!(plan.downtime_in(0, 600, 1_000), 0);
+        // Window sliced into halves conserves total downtime.
+        assert_eq!(
+            plan.downtime_in(0, 0, 500) + plan.downtime_in(0, 500, 1_000),
+            plan.downtime_in(0, 0, 1_000)
+        );
     }
 
     #[test]

@@ -60,11 +60,12 @@ pub mod failure;
 pub mod parallel;
 pub mod report;
 pub mod sim;
+pub mod telemetry;
 pub mod workload;
 
 pub use deploy::Deployment;
 pub use failure::{FailurePlan, FailureSpec, Outage};
 pub use parallel::run_serving_parallel;
-pub use report::{LatencyHistogram, ServingReport, TenantStats};
+pub use report::{LatencyHistogram, ServingReport, TenantStats, WindowStats};
 pub use sim::{run_serving, ServeConfig};
 pub use workload::{merge_arrivals, tenant_arrivals, Arrival, BurstSpec, TenantSpec, Workload};

@@ -44,10 +44,16 @@ pub fn run_serving_parallel(
     wl: &Workload,
     cfg: &ServeConfig,
 ) -> ServingReport {
+    let _span = autohet_obs::trace::span("serve.run_parallel");
     cfg.validate();
     let plan = cfg.failure_plan(wl);
     let shared = Mutex::new(Shared {
-        core: SimCore::new(tenants.len(), merge_arrivals(tenants, wl), cfg),
+        core: SimCore::new(
+            tenants.len(),
+            merge_arrivals(tenants, wl),
+            cfg,
+            wl.horizon_ns,
+        ),
         free: vec![0; cfg.replicas],
         done: vec![false; cfg.replicas],
     });
@@ -59,6 +65,7 @@ pub fn run_serving_parallel(
                 let parked = &parked;
                 let plan = &plan;
                 s.spawn(move |_| {
+                    let _span = autohet_obs::trace::span("serve.worker");
                     let mut mine: Vec<BatchResult> = Vec::new();
                     let mut guard = shared.lock();
                     loop {

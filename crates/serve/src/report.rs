@@ -39,6 +39,22 @@ impl LatencyHistogram {
     pub fn count(&self) -> u64 {
         self.bins.iter().sum()
     }
+
+    /// Fold another histogram's counts into this one (bin-wise sum) —
+    /// how per-window telemetry aggregates into run-level distributions.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the inclusive upper bound of the
+    /// bin holding the rank-⌈q·n⌉ latency (so the true latency is ≤ the
+    /// returned value). Returns 0 for an empty histogram; `q` is clamped
+    /// to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        autohet_obs::metrics::quantile_from_bins(&self.bins, q)
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -98,6 +114,49 @@ pub struct TenantStats {
     pub histogram: LatencyHistogram,
 }
 
+/// Telemetry aggregated over one time window of a serving run (see
+/// [`ServeConfig::telemetry_windows`]). Windows tile `[0, horizon)`
+/// equally; the last window additionally absorbs the drain tail past the
+/// horizon. Submission-side columns (`submitted`, `rejected`,
+/// `peak_queue_depth`) bucket by arrival time; completion-side columns
+/// (`completed`, `batches`, latency, SLO) bucket by batch completion
+/// time.
+///
+/// [`ServeConfig::telemetry_windows`]: crate::sim::ServeConfig::telemetry_windows
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Window index (0-based).
+    pub index: usize,
+    /// Window start [ns].
+    pub start_ns: u64,
+    /// Nominal window end [ns] (exclusive; the last window also covers
+    /// the drain past this instant).
+    pub end_ns: u64,
+    /// Arrivals generated in the window, all tenants.
+    pub submitted: u64,
+    /// Arrivals shed by admission control in the window.
+    pub rejected: u64,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Batches completed in the window.
+    pub batches: u64,
+    /// Mean requests per completed batch (0.0 for an idle window).
+    pub mean_batch_size: f64,
+    /// Mean batch fill as a fraction of `max_batch`.
+    pub batch_occupancy: f64,
+    /// Fraction of the window's completed requests that met their
+    /// tenant's SLO; 1.0 for a window with no completions.
+    pub slo_attainment: f64,
+    /// Time-weighted aggregate queue depth (all tenants) over the window.
+    pub mean_queue_depth: f64,
+    /// Largest aggregate queued-request count observed in the window.
+    pub peak_queue_depth: u64,
+    /// Replica downtime overlapping the window, summed over replicas [ns].
+    pub downtime_ns: u64,
+    /// Latency distribution of the window's completed requests.
+    pub histogram: LatencyHistogram,
+}
+
 /// Aggregate outcome of one serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -129,6 +188,22 @@ pub struct ServingReport {
     pub aggregate_throughput_rps: f64,
     /// Per-tenant breakdown, in tenant declaration order.
     pub tenants: Vec<TenantStats>,
+    /// Per-window telemetry; empty unless `telemetry_windows > 0` was
+    /// configured.
+    #[serde(default)]
+    pub windows: Vec<WindowStats>,
+}
+
+impl ServingReport {
+    /// The whole run's latency distribution: every tenant's histogram
+    /// merged into one.
+    pub fn overall_histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for t in &self.tenants {
+            h.merge(&t.histogram);
+        }
+        h
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample.
@@ -151,6 +226,7 @@ pub(crate) fn assemble_report(
     batches: &[BatchResult],
     plan: &FailurePlan,
 ) -> ServingReport {
+    let _span = autohet_obs::trace::span("serve.assemble_report");
     let n = tenants.len();
     let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); n];
     let mut hist = vec![LatencyHistogram::new(); n];
@@ -226,6 +302,7 @@ pub(crate) fn assemble_report(
         })
         .collect();
     let total_completed: u64 = stats.iter().map(|s| s.completed).sum();
+    let windows = assemble_windows(tenants, cfg, core, batches, plan, makespan);
     ServingReport {
         seed: wl.seed,
         horizon_ns: wl.horizon_ns,
@@ -251,7 +328,88 @@ pub(crate) fn assemble_report(
             0.0
         },
         tenants: stats,
+        windows,
     }
+}
+
+/// Bucket the batch stream and the core's window accumulators into
+/// [`WindowStats`]. Everything here is a pure function of inputs both
+/// execution modes agree on (the index-sorted batch stream, the core's
+/// recurrence-ordered accumulators, the pre-generated failure plan), so
+/// windows are bit-identical across drivers.
+fn assemble_windows(
+    tenants: &[TenantSpec],
+    cfg: &ServeConfig,
+    core: &SimCore,
+    batches: &[BatchResult],
+    plan: &FailurePlan,
+    makespan: u64,
+) -> Vec<WindowStats> {
+    let n_win = core.win_submitted.len();
+    if n_win == 0 {
+        return Vec::new();
+    }
+    let win_len = core.window_len_ns();
+    let mut completed = vec![0u64; n_win];
+    let mut win_batches = vec![0u64; n_win];
+    let mut met = vec![0u64; n_win];
+    let mut hist = vec![LatencyHistogram::new(); n_win];
+    for b in batches {
+        let w = core.window_of(b.completion_ns);
+        win_batches[w] += 1;
+        for r in &b.requests {
+            let l = b.completion_ns - r.arrival_ns;
+            completed[w] += 1;
+            if l <= tenants[b.tenant].slo_ns {
+                met[w] += 1;
+            }
+            hist[w].record(l);
+        }
+    }
+    (0..n_win)
+        .map(|w| {
+            let start_ns = w as u64 * win_len;
+            let end_ns = start_ns + win_len;
+            // The last window runs to the makespan: its depth integral
+            // and downtime include the drain tail.
+            let covered_to = if w + 1 == n_win {
+                makespan.max(end_ns)
+            } else {
+                end_ns
+            };
+            let span = (covered_to - start_ns).max(1);
+            WindowStats {
+                index: w,
+                start_ns,
+                end_ns,
+                submitted: core.win_submitted[w],
+                rejected: core.win_rejected[w],
+                completed: completed[w],
+                batches: win_batches[w],
+                mean_batch_size: if win_batches[w] == 0 {
+                    0.0
+                } else {
+                    completed[w] as f64 / win_batches[w] as f64
+                },
+                batch_occupancy: if win_batches[w] == 0 {
+                    0.0
+                } else {
+                    completed[w] as f64 / (win_batches[w] * cfg.max_batch as u64) as f64
+                },
+                slo_attainment: if completed[w] == 0 {
+                    1.0
+                } else {
+                    met[w] as f64 / completed[w] as f64
+                },
+                mean_queue_depth: core.win_depth_area[w] as f64 / span as f64,
+                peak_queue_depth: core.win_peak_depth[w] as u64,
+                downtime_ns: (0..cfg.replicas)
+                    .map(|r| plan.downtime_in(r, start_ns, covered_to))
+                    .sum(),
+                histogram: hist[w].clone(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -272,6 +430,70 @@ mod tests {
         assert_eq!(h.bins[10], 1); // 1024
         assert_eq!(h.bins[63], 1); // u64::MAX
         assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000); // bin 9 = [512, 1024)
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1023);
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_bin() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(5_000); // bin 12 = [4096, 8192)
+        }
+        assert_eq!(h.quantile(0.5), 8191);
+        assert_eq!(h.quantile(0.999), 8191);
+        // Quantiles are upper bounds and out-of-range q is clamped.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for l in [10u64, 100, 1_000, 10_000] {
+            h.record(l);
+        }
+        assert!(h.quantile(0.5) >= 100);
+        assert!(h.quantile(1.0) >= 10_000);
+        assert!(h.quantile(0.25) >= 10);
+        // Monotone in q.
+        assert!(h.quantile(0.25) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_sums_bins_and_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        a.record(1000);
+        b.record(1000);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bins[3], 1); // 10
+        assert_eq!(a.bins[9], 2); // both 1000s
+        assert_eq!(a.bins[63], 1);
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
     }
 
     #[test]

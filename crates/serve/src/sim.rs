@@ -35,6 +35,15 @@ pub struct ServeConfig {
     /// surviving replica only while its age is within this deadline;
     /// older interrupted requests are dropped as failed [ns].
     pub retry_deadline_ns: u64,
+    /// Number of equal time windows over `[0, horizon)` to aggregate
+    /// per-window telemetry into ([`WindowStats`] on the report); 0
+    /// disables window telemetry. The windows are part of the simulated
+    /// accounting (not the tracer), so the rest of the report is
+    /// unaffected by this knob.
+    ///
+    /// [`WindowStats`]: crate::report::WindowStats
+    #[serde(default)]
+    pub telemetry_windows: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +55,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             failures: None,
             retry_deadline_ns: 100_000_000,
+            telemetry_windows: 0,
         }
     }
 }
@@ -119,10 +129,25 @@ pub(crate) struct SimCore {
     pub peak_depth: Vec<usize>,
     depth_area: Vec<u128>,
     last_event: Vec<u64>,
+    // Per-window telemetry (empty when cfg.telemetry_windows == 0). The
+    // accumulators are maintained inside the scheduling recurrence, so
+    // both execution modes produce identical window accounting.
+    win_len: u64,
+    total_queued: usize,
+    pub win_submitted: Vec<u64>,
+    pub win_rejected: Vec<u64>,
+    pub win_depth_area: Vec<u128>,
+    pub win_peak_depth: Vec<usize>,
 }
 
 impl SimCore {
-    pub fn new(n_tenants: usize, arrivals: Vec<Arrival>, cfg: &ServeConfig) -> Self {
+    pub fn new(
+        n_tenants: usize,
+        arrivals: Vec<Arrival>,
+        cfg: &ServeConfig,
+        horizon_ns: u64,
+    ) -> Self {
+        let n_win = cfg.telemetry_windows;
         SimCore {
             arrivals,
             cursor: 0,
@@ -139,6 +164,59 @@ impl SimCore {
             peak_depth: vec![0; n_tenants],
             depth_area: vec![0; n_tenants],
             last_event: vec![0; n_tenants],
+            win_len: if n_win == 0 {
+                0
+            } else {
+                (horizon_ns / n_win as u64).max(1)
+            },
+            total_queued: 0,
+            win_submitted: vec![0; n_win],
+            win_rejected: vec![0; n_win],
+            win_depth_area: vec![0; n_win],
+            win_peak_depth: vec![0; n_win],
+        }
+    }
+
+    /// Telemetry window containing instant `t` (the last window absorbs
+    /// everything past the nominal horizon — the drain tail).
+    pub fn window_of(&self, t_ns: u64) -> usize {
+        debug_assert!(self.win_len > 0);
+        ((t_ns / self.win_len) as usize).min(self.win_submitted.len() - 1)
+    }
+
+    /// Nominal length of one telemetry window [ns] (0 when disabled).
+    pub fn window_len_ns(&self) -> u64 {
+        self.win_len
+    }
+
+    /// Add `depth × dt` of aggregate queue depth over `[from, to)` to the
+    /// per-window depth integrals, splitting across window boundaries.
+    fn add_depth_span(&mut self, depth: u128, from: u64, to: u64) {
+        if self.win_submitted.is_empty() || to <= from {
+            return;
+        }
+        let last = self.win_submitted.len() - 1;
+        let mut t = from;
+        while t < to {
+            let w = self.window_of(t);
+            let end = if w == last {
+                to
+            } else {
+                ((w as u64 + 1) * self.win_len).min(to)
+            };
+            self.win_depth_area[w] += depth * (end - t) as u128;
+            t = end;
+        }
+    }
+
+    /// Record that the aggregate queued-request count changed at `t`.
+    fn note_total_depth(&mut self, t_ns: u64) {
+        if self.win_submitted.is_empty() {
+            return;
+        }
+        let w = self.window_of(t_ns);
+        if self.total_queued > self.win_peak_depth[w] {
+            self.win_peak_depth[w] = self.total_queued;
         }
     }
 
@@ -166,13 +244,23 @@ impl SimCore {
     /// to `now` (per-tenant event times are monotone).
     fn track_depth(&mut self, t: usize, now: u64) {
         let dt = now.saturating_sub(self.last_event[t]);
-        self.depth_area[t] += self.queues[t].len() as u128 * dt as u128;
+        let depth = self.queues[t].len() as u128;
+        self.depth_area[t] += depth * dt as u128;
+        let (from, to) = (self.last_event[t], now);
+        self.add_depth_span(depth, from, to);
         self.last_event[t] = now;
     }
 
     /// Admit or shed one arrival.
     fn ingest(&mut self, a: Arrival) {
         self.submitted[a.tenant] += 1;
+        if !self.win_submitted.is_empty() {
+            let w = self.window_of(a.time_ns);
+            self.win_submitted[w] += 1;
+            if self.queues[a.tenant].len() >= self.depth_bound {
+                self.win_rejected[w] += 1;
+            }
+        }
         if self.queues[a.tenant].len() >= self.depth_bound {
             self.rejected[a.tenant] += 1;
             return;
@@ -182,6 +270,8 @@ impl SimCore {
             arrival_ns: a.time_ns,
             retries: 0,
         });
+        self.total_queued += 1;
+        self.note_total_depth(a.time_ns);
         let depth = self.queues[a.tenant].len();
         if depth > self.peak_depth[a.tenant] {
             self.peak_depth[a.tenant] = depth;
@@ -230,6 +320,7 @@ impl SimCore {
         let n = self.queues[t].len().min(self.max_batch);
         self.track_depth(t, at);
         let requests: Vec<Req> = self.queues[t].drain(..n).collect();
+        self.total_queued -= n;
         let index = self.next_index;
         self.next_index += 1;
         Some(BatchJob {
@@ -257,10 +348,12 @@ impl SimCore {
                     arrival_ns: req.arrival_ns,
                     retries: req.retries + 1,
                 });
+                self.total_queued += 1;
             } else {
                 self.failed[t] += 1;
             }
         }
+        self.note_total_depth(killed_ns);
         let depth = self.queues[t].len();
         if depth > self.peak_depth[t] {
             self.peak_depth[t] = depth;
@@ -313,9 +406,15 @@ pub(crate) fn finish_batch(spec: &TenantSpec, job: BatchJob, completion_ns: u64)
 /// synchronously — which is what keeps the multi-worker driver
 /// bit-identical.
 pub fn run_serving(tenants: &[TenantSpec], wl: &Workload, cfg: &ServeConfig) -> ServingReport {
+    let _span = autohet_obs::trace::span("serve.run");
     cfg.validate();
     let plan = cfg.failure_plan(wl);
-    let mut core = SimCore::new(tenants.len(), merge_arrivals(tenants, wl), cfg);
+    let mut core = SimCore::new(
+        tenants.len(),
+        merge_arrivals(tenants, wl),
+        cfg,
+        wl.horizon_ns,
+    );
     let mut free = vec![0u64; cfg.replicas];
     let mut batches = Vec::new();
     loop {

@@ -1,0 +1,165 @@
+//! Bridges from serving reports to the `autohet-obs` substrate:
+//! per-window telemetry as a [`Series`] table and run totals mirrored
+//! into a metrics [`Registry`].
+
+use crate::report::ServingReport;
+use autohet_obs::{Registry, Series};
+
+/// Column schema of [`window_series`] (name, unit), kept in one place so
+/// docs and exporters cannot drift apart.
+pub const WINDOW_COLUMNS: [(&str, &str); 13] = [
+    ("window", ""),
+    ("start", "ns"),
+    ("end", "ns"),
+    ("submitted", "req"),
+    ("rejected", "req"),
+    ("completed", "req"),
+    ("batches", ""),
+    ("mean_batch_size", "req"),
+    ("batch_occupancy", ""),
+    ("slo_attainment", ""),
+    ("mean_queue_depth", "req"),
+    ("peak_queue_depth", "req"),
+    ("downtime", "ns"),
+];
+
+/// The report's per-window telemetry as a time-series table (one row per
+/// window, columns per [`WINDOW_COLUMNS`]). Empty when the run was
+/// configured without telemetry windows.
+pub fn window_series(report: &ServingReport) -> Series {
+    let mut s = Series::new("serving_windows", &WINDOW_COLUMNS);
+    for w in &report.windows {
+        s.push(vec![
+            w.index as f64,
+            w.start_ns as f64,
+            w.end_ns as f64,
+            w.submitted as f64,
+            w.rejected as f64,
+            w.completed as f64,
+            w.batches as f64,
+            w.mean_batch_size,
+            w.batch_occupancy,
+            w.slo_attainment,
+            w.mean_queue_depth,
+            w.peak_queue_depth as f64,
+            w.downtime_ns as f64,
+        ]);
+    }
+    s
+}
+
+/// Mirror a serving run's totals into `registry` under `prefix`:
+/// counters for request accounting and batches, a gauge for replicas,
+/// and the merged latency distribution as a `{prefix}.latency_ns`
+/// histogram (same log₂ binning on both sides).
+pub fn publish_report(report: &ServingReport, registry: &Registry, prefix: &str) {
+    let c = |name: &str, v: u64| registry.counter(&format!("{prefix}.{name}")).add(v);
+    c("completed", report.total_completed);
+    c("rejected", report.total_rejected);
+    c("failed", report.total_failed);
+    c("retried", report.total_retried);
+    c("batches", report.batches);
+    registry
+        .gauge(&format!("{prefix}.replicas"))
+        .set(report.replicas as i64);
+    registry
+        .histogram(&format!("{prefix}.latency_ns"))
+        .merge_bins(&report.overall_histogram().bins);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use crate::sim::{run_serving, ServeConfig};
+    use crate::workload::{TenantSpec, Workload};
+    use autohet_accel::AccelConfig;
+    use autohet_dnn::zoo;
+    use autohet_xbar::XbarShape;
+
+    fn report(windows: usize) -> ServingReport {
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::square(128); m.layers.len()];
+        let d = Deployment::compile("lenet", &m, &strategy, &AccelConfig::default());
+        let rate = 0.7 * d.max_rate_rps();
+        let slo = (8.0 * d.pipeline.fill_ns) as u64;
+        let tenants = vec![TenantSpec::new("lenet", d, rate, slo)];
+        let wl = Workload {
+            seed: 7,
+            horizon_ns: (1_000.0 / rate * 1e9) as u64,
+        };
+        let cfg = ServeConfig {
+            telemetry_windows: windows,
+            ..ServeConfig::default()
+        };
+        run_serving(&tenants, &wl, &cfg)
+    }
+
+    #[test]
+    fn windows_partition_the_run() {
+        let r = report(8);
+        assert_eq!(r.windows.len(), 8);
+        // Window accounting conserves the run totals.
+        let submitted: u64 = r.windows.iter().map(|w| w.submitted).sum();
+        let rejected: u64 = r.windows.iter().map(|w| w.rejected).sum();
+        let completed: u64 = r.windows.iter().map(|w| w.completed).sum();
+        let batches: u64 = r.windows.iter().map(|w| w.batches).sum();
+        assert_eq!(submitted, r.tenants[0].submitted);
+        assert_eq!(rejected, r.total_rejected);
+        assert_eq!(completed, r.total_completed);
+        assert_eq!(batches, r.batches);
+        // Window histograms merge to the overall distribution.
+        let mut merged = crate::report::LatencyHistogram::new();
+        for w in &r.windows {
+            merged.merge(&w.histogram);
+        }
+        assert_eq!(merged, r.overall_histogram());
+        // Windows tile [0, horizon) contiguously.
+        for (i, w) in r.windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+            assert_eq!(w.end_ns - w.start_ns, r.windows[0].end_ns);
+            if i > 0 {
+                assert_eq!(w.start_ns, r.windows[i - 1].end_ns);
+            }
+            assert!(w.slo_attainment >= 0.0 && w.slo_attainment <= 1.0);
+            assert!(w.batch_occupancy >= 0.0 && w.batch_occupancy <= 1.0);
+            assert!(w.mean_queue_depth >= 0.0);
+        }
+    }
+
+    #[test]
+    fn window_telemetry_does_not_perturb_the_rest_of_the_report() {
+        let off = report(0);
+        let on = report(8);
+        assert!(off.windows.is_empty());
+        assert_eq!(off.tenants, on.tenants);
+        assert_eq!(off.batches, on.batches);
+        assert_eq!(off.makespan_ns, on.makespan_ns);
+        assert_eq!(off.total_energy_nj, on.total_energy_nj);
+    }
+
+    #[test]
+    fn series_has_one_row_per_window() {
+        let r = report(6);
+        let s = window_series(&r);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.columns.len(), WINDOW_COLUMNS.len());
+        let csv = s.to_csv();
+        assert!(csv.starts_with("window,start[ns],end[ns],"));
+        assert_eq!(csv.lines().count(), 7);
+        assert_eq!(s.to_jsonl().lines().count(), 6);
+    }
+
+    #[test]
+    fn publish_mirrors_totals_and_latencies() {
+        let r = report(4);
+        let reg = Registry::new();
+        publish_report(&r, &reg, "serve");
+        assert_eq!(reg.counter("serve.completed").get(), r.total_completed);
+        assert_eq!(reg.counter("serve.batches").get(), r.batches);
+        assert_eq!(reg.gauge("serve.replicas").get(), r.replicas as i64);
+        let h = reg.histogram("serve.latency_ns");
+        assert_eq!(h.count(), r.total_completed);
+        assert_eq!(h.bins(), r.overall_histogram().bins);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end observability dump: run every search driver plus a serving
+//! window on one shared evaluation engine with the tracer and metrics
+//! registry enabled, then export every `autohet-obs` artifact.
+//!
+//! ```sh
+//! cargo run --release -p autohet --example obs_dump -- --out target/obs_dump
+//! # tiny model + budget, used by scripts/check.sh and CI:
+//! cargo run --release -p autohet --example obs_dump -- --smoke --out target/obs_smoke
+//! ```
+//!
+//! Written into `--out` (default `target/obs_dump`):
+//!
+//! | file                  | contents                                        |
+//! |-----------------------|-------------------------------------------------|
+//! | `trace.jsonl`         | one span per line (path, depth, start/end ns)   |
+//! | `trace.collapsed`     | collapsed stacks (self-time) for flamegraph.pl  |
+//! | `metrics.txt`         | registry snapshot, one `name value` per line    |
+//! | `metrics.jsonl`       | same snapshot as JSON Lines                     |
+//! | `search_episodes.csv` | per-episode telemetry for every search driver   |
+//! | `search_episodes.jsonl` | same rows as JSON Lines                       |
+//! | `serving_windows.csv` | per-window serving telemetry                    |
+//! | `serving_windows.jsonl` | same rows as JSON Lines                       |
+
+use autohet::prelude::*;
+use autohet::telemetry::{publish_episode_history, EPISODE_COLUMNS};
+use autohet_obs::Series;
+use autohet_rl::{DdpgConfig, DqnConfig};
+use autohet_serve::telemetry::{publish_report, window_series};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("target/obs_dump");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
+            other => panic!("unknown flag {other:?} (expected --smoke / --out DIR)"),
+        }
+    }
+    fs::create_dir_all(&out).expect("create output directory");
+
+    let tracer = autohet_obs::trace::global();
+    tracer.enable(1 << 16);
+    let registry = autohet_obs::metrics::global();
+    registry.clear();
+
+    let model = if smoke {
+        autohet_dnn::zoo::micro_cnn()
+    } else {
+        autohet_dnn::zoo::vgg16()
+    };
+    let episodes = if smoke { 10 } else { 100 };
+    let cfg = AccelConfig::default().with_tile_sharing();
+    let cands = paper_hybrid_candidates();
+    let engine = Arc::new(EvalEngine::new(model.clone(), cfg));
+    println!(
+        "obs_dump: {} | {} episodes/driver | out: {}\n",
+        model.name,
+        episodes,
+        out.display()
+    );
+
+    // One episode table for all drivers, tagged by a driver column so the
+    // trajectories can be overlaid directly.
+    let mut columns = vec![("driver", "")];
+    columns.extend_from_slice(&EPISODE_COLUMNS);
+    let mut episodes_table = Series::new("search_episodes", &columns);
+    let mut add_rows = |driver: usize, history: &[autohet::prelude::EpisodeRecord]| {
+        for e in history {
+            let mut row = vec![driver as f64];
+            row.extend_from_slice(&[
+                e.episode as f64,
+                e.rue,
+                e.reward,
+                e.utilization,
+                e.energy_nj,
+                e.cache_hit_rate,
+            ]);
+            episodes_table.push(row);
+        }
+    };
+
+    // --- DDPG (the paper's search) -------------------------------------
+    let scfg = RlSearchConfig {
+        episodes,
+        ddpg: DdpgConfig {
+            seed: 7,
+            hidden: 32,
+            batch: 32,
+            ..DdpgConfig::default()
+        },
+        train_steps: 4,
+        ..RlSearchConfig::default()
+    };
+    let ddpg = rl_search_with_engine(&model, &cands, &cfg, &scfg, engine.clone());
+    println!(
+        "ddpg      best RUE {:.4}  cache: {}",
+        ddpg.best_rue(),
+        ddpg.timing.cache
+    );
+    publish_episode_history(&ddpg.history, &ddpg.timing, registry, "search.ddpg");
+    add_rows(0, &ddpg.history);
+
+    // --- DQN (discrete-action ablation) --------------------------------
+    let dcfg = DqnSearchConfig {
+        episodes,
+        dqn: DqnConfig {
+            seed: 7,
+            hidden: 32,
+            batch: 32,
+            ..DqnConfig::default()
+        },
+        train_steps: 4,
+    };
+    let dqn = dqn_search_with_engine(&model, &cands, &cfg, &dcfg, engine.clone());
+    println!(
+        "dqn       best RUE {:.4}  cache: {}",
+        dqn.best_rue(),
+        dqn.timing.cache
+    );
+    publish_episode_history(&dqn.history, &dqn.timing, registry, "search.dqn");
+    add_rows(1, &dqn.history);
+
+    // --- Simulated annealing -------------------------------------------
+    let acfg = AnnealingConfig {
+        iterations: episodes,
+        seed: 7,
+        ..AnnealingConfig::default()
+    };
+    let sa = annealing_search_with_engine(&engine, &cands, &acfg);
+    println!(
+        "annealing best RUE {:.4}  cache: {}",
+        sa.best_rue(),
+        sa.timing.cache
+    );
+    publish_episode_history(&sa.history, &sa.timing, registry, "search.annealing");
+    add_rows(2, &sa.history);
+
+    // --- Greedy comparators (no trajectory, cache delta only) ----------
+    let gu = greedy_utilization_with_engine(&engine, &cands);
+    println!(
+        "greedy-u  RUE      {:.4}  cache: {}",
+        gu.rue(),
+        gu.timing.cache
+    );
+    let gr = greedy_layerwise_rue_with_engine(&engine, &cands);
+    println!(
+        "greedy-r  RUE      {:.4}  cache: {}",
+        gr.rue(),
+        gr.timing.cache
+    );
+
+    // Engine totals across the whole sweep.
+    let totals = engine.stats();
+    println!("engine    totals          cache: {totals}");
+    totals.publish(registry, "engine");
+
+    // --- Serving window on the best searched strategy ------------------
+    let d = Deployment::compile(&model.name, &model, &ddpg.best_strategy, &cfg);
+    let rate = 0.7 * d.max_rate_rps();
+    let slo = (8.0 * d.pipeline.fill_ns) as u64;
+    let tenants = vec![TenantSpec::new(&model.name, d, rate, slo)];
+    let requests = if smoke { 300.0 } else { 2_000.0 };
+    let wl = Workload {
+        seed: 7,
+        horizon_ns: (requests / rate * 1e9) as u64,
+    };
+    let serve_cfg = ServeConfig {
+        telemetry_windows: 8,
+        ..ServeConfig::default()
+    };
+    let report = run_serving(&tenants, &wl, &serve_cfg);
+    println!(
+        "serving   {} completed / {} rejected over {} windows",
+        report.total_completed,
+        report.total_rejected,
+        report.windows.len()
+    );
+    publish_report(&report, registry, "serve");
+    let windows = window_series(&report);
+
+    // --- Export every artifact -----------------------------------------
+    tracer.disable();
+    let events = tracer.drain();
+    let write = |name: &str, data: String| {
+        let path = out.join(name);
+        fs::write(&path, data).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    };
+    println!(
+        "\ntrace: {} spans recorded, {} dropped",
+        events.len(),
+        tracer.dropped()
+    );
+    write("trace.jsonl", autohet_obs::trace::to_jsonl(&events));
+    write("trace.collapsed", autohet_obs::trace::collapsed(&events));
+    write("metrics.txt", registry.to_text());
+    write("metrics.jsonl", registry.to_jsonl());
+    write("search_episodes.csv", episodes_table.to_csv());
+    write("search_episodes.jsonl", episodes_table.to_jsonl());
+    write("serving_windows.csv", windows.to_csv());
+    write("serving_windows.jsonl", windows.to_jsonl());
+}

@@ -17,8 +17,8 @@ use autohet::search::greedy::greedy_layerwise_rue;
 /// AutoHet strategy.
 fn deploy(model: &autohet_dnn::Model, hetero: bool, cfg: &AccelConfig) -> Deployment {
     let (label, strategy) = if hetero {
-        let (s, _) = greedy_layerwise_rue(model, &paper_hybrid_candidates(), cfg);
-        (format!("{}/autohet", model.name), s)
+        let out = greedy_layerwise_rue(model, &paper_hybrid_candidates(), cfg);
+        (format!("{}/autohet", model.name), out.strategy)
     } else {
         let (shape, _) = best_homogeneous(model, cfg);
         (
@@ -44,6 +44,7 @@ fn main() {
         queue_depth: 48,
         failures: None,
         retry_deadline_ns: 100_000_000,
+        telemetry_windows: 0,
     };
     let homo = [deploy(&alexnet, false, &cfg), deploy(&lenet, false, &cfg)];
     let rates = [0.9 * homo[0].max_rate_rps(), 0.6 * homo[1].max_rate_rps()];

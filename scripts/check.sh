@@ -9,3 +9,14 @@ cargo test -q
 cargo fmt --check
 # --all-targets lints tests, examples, and benches too, not just lib code.
 cargo clippy --workspace --all-targets -- -D warnings
+# The observability crate's docs are part of its API contract.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p autohet-obs
+
+# Observability smoke: the full dump pipeline must run end to end and
+# emit every artifact (CI uploads target/obs_smoke for inspection).
+cargo run --release -p autohet --example obs_dump -- --smoke --out target/obs_smoke
+for f in trace.jsonl trace.collapsed metrics.txt metrics.jsonl \
+         search_episodes.csv search_episodes.jsonl \
+         serving_windows.csv serving_windows.jsonl; do
+  [ -s "target/obs_smoke/$f" ] || { echo "missing obs artifact: $f" >&2; exit 1; }
+done

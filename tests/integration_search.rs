@@ -76,8 +76,8 @@ fn greedy_searches_are_dominated_by_the_oracle() {
     let cfg = AccelConfig::default();
     let cands = paper_hybrid_candidates();
     let (_, oracle) = exhaustive_search(&m, &cands, &cfg, 1_000);
-    let (_, gu) = greedy_utilization(&m, &cands, &cfg);
-    let (_, gr) = greedy_layerwise_rue(&m, &cands, &cfg);
+    let gu = greedy_utilization(&m, &cands, &cfg);
+    let gr = greedy_layerwise_rue(&m, &cands, &cfg);
     assert!(oracle.rue() >= gu.rue());
     assert!(oracle.rue() >= gr.rue());
 }
