@@ -15,8 +15,25 @@ use crate::mapping::{col_ranges, row_ranges};
 use autohet_dnn::ops::{self, im2col};
 use autohet_dnn::quant::{quantize_matrix, Quantizer};
 use autohet_dnn::{Layer, LayerKind, Model, Stage, Tensor};
-use autohet_xbar::{Adc, CostParams, Crossbar, XbarShape};
+use autohet_xbar::{Adc, CostParams, Crossbar, PackedInput, XbarScratch, XbarShape};
+use std::cell::RefCell;
 use std::ops::Range;
+
+/// Reusable layer-level MVM buffers: the shared packed input (one pack per
+/// grid-row slice, reused across every crossbar in that grid row) plus the
+/// crossbar-level scratch.
+#[derive(Debug, Default)]
+struct LayerScratch {
+    packed: PackedInput,
+    xbar: XbarScratch,
+}
+
+thread_local! {
+    /// Per-thread scratch so [`MappedLayer::mvm`] stays allocation-free
+    /// under the existing `&self` signature, including when one mapped
+    /// model is shared across inference worker threads.
+    static LAYER_SCRATCH: RefCell<LayerScratch> = RefCell::new(LayerScratch::default());
+}
 
 /// One layer programmed onto its crossbar grid.
 #[derive(Debug, Clone)]
@@ -149,14 +166,23 @@ impl MappedLayer {
     /// One full weight-matrix MVM: slice the quantized input vector by
     /// grid-row ranges, run every crossbar, and merge partial sums across
     /// grid rows (the adder tree). Returns `Cout` integer accumulations.
+    ///
+    /// Each grid-row slice is bit-packed once and reused across every
+    /// crossbar in that grid row (DESIGN.md §9); buffers come from a
+    /// thread-local scratch, so repeated calls allocate only their result.
     pub fn mvm(&self, input_q: &[u8], adc: &Adc) -> Vec<i64> {
+        LAYER_SCRATCH.with(|s| self.mvm_with_scratch(input_q, adc, &mut s.borrow_mut()))
+    }
+
+    fn mvm_with_scratch(&self, input_q: &[u8], adc: &Adc, s: &mut LayerScratch) -> Vec<i64> {
         assert_eq!(input_q.len(), self.layer.weight_rows());
         let mut out = vec![0_i64; self.layer.weight_cols()];
         if self.diagonal {
             // Depthwise: crossbar i independently produces the channels of
             // its chunk — no cross-crossbar partial sums.
             for (i, (rrange, crange)) in self.row_ranges.iter().zip(&self.col_ranges).enumerate() {
-                let partial = self.grid[i][0].mvm(&input_q[rrange.clone()], adc);
+                s.packed.pack(&input_q[rrange.clone()]);
+                let partial = self.grid[i][0].mvm_packed(&s.packed, adc, &mut s.xbar);
                 for (j, v) in partial.into_iter().enumerate() {
                     out[crange.start + j] = v;
                 }
@@ -164,15 +190,36 @@ impl MappedLayer {
             return out;
         }
         for (ri, rrange) in self.row_ranges.iter().enumerate() {
-            let slice = &input_q[rrange.clone()];
+            s.packed.pack(&input_q[rrange.clone()]);
             for (ci, crange) in self.col_ranges.iter().enumerate() {
-                let partial = self.grid[ri][ci].mvm(slice, adc);
+                let partial = self.grid[ri][ci].mvm_packed(&s.packed, adc, &mut s.xbar);
                 for (j, v) in partial.into_iter().enumerate() {
                     out[crange.start + j] += v;
                 }
             }
         }
         out
+    }
+
+    /// Batched MVM: one output row per input vector, each bit-identical to
+    /// a [`MappedLayer::mvm`] call on that input. The whole batch shares
+    /// one scratch.
+    pub fn mvm_batch(&self, inputs: &[Vec<u8>], adc: &Adc) -> Vec<Vec<i64>> {
+        LAYER_SCRATCH.with(|s| {
+            let s = &mut s.borrow_mut();
+            inputs
+                .iter()
+                .map(|x| self.mvm_with_scratch(x, adc, s))
+                .collect()
+        })
+    }
+
+    /// Parallel batched MVM via [`crate::par::par_map`]: inputs are split
+    /// over worker threads (each with its own thread-local scratch) and
+    /// results come back in input order, bit-identical to the serial
+    /// [`MappedLayer::mvm_batch`].
+    pub fn mvm_batch_par(&self, inputs: &[Vec<u8>], adc: &Adc) -> Vec<Vec<i64>> {
+        crate::par::par_map(inputs, |x| self.mvm(x, adc))
     }
 }
 
@@ -237,6 +284,12 @@ impl MappedModel {
     /// linear-chain model (`model.stages` non-empty); returns the final
     /// layer's activations (logits — no ReLU on the last stage).
     pub fn infer(&self, image: &Tensor) -> Tensor {
+        // Top-level single-image call: parallelize the conv-column batch
+        // over crossbar workers.
+        self.infer_inner(image, true)
+    }
+
+    fn infer_inner(&self, image: &Tensor, par: bool) -> Tensor {
         assert!(
             !self.model.stages.is_empty(),
             "model {} has no inference pipeline (mapping-only model)",
@@ -249,7 +302,7 @@ impl MappedModel {
                 Stage::Pool(w) => act = ops::max_pool(&act, w),
                 Stage::Layer(i) => {
                     let ml = &self.layers[i];
-                    act = self.run_layer(ml, &act);
+                    act = self.run_layer(ml, &act, par);
                     if i != last_layer {
                         ops::relu(&mut act);
                     }
@@ -277,7 +330,10 @@ impl MappedModel {
             for (slot_chunk, img_chunk) in out.chunks_mut(chunk).zip(images.chunks(chunk)) {
                 s.spawn(move |_| {
                     for (slot, img) in slot_chunk.iter_mut().zip(img_chunk) {
-                        *slot = Some(self.infer(img));
+                        // Workers run serially inside — the batch already
+                        // saturates the cores; nesting par_map would
+                        // oversubscribe them.
+                        *slot = Some(self.infer_inner(img, false));
                     }
                 });
             }
@@ -288,8 +344,12 @@ impl MappedModel {
             .collect()
     }
 
-    /// Execute one mapped layer on an activation tensor.
-    fn run_layer(&self, ml: &MappedLayer, act: &Tensor) -> Tensor {
+    /// Execute one mapped layer on an activation tensor. `par` fans the
+    /// conv-column batch out over worker threads (top-level calls only —
+    /// batch inference workers keep it off to avoid oversubscription).
+    fn run_layer(&self, ml: &MappedLayer, act: &Tensor, par: bool) -> Tensor {
+        // Below this many MVMs the fork-join overhead beats the win.
+        const PAR_COLS: usize = 8;
         let layer = &ml.layer;
         // Unsigned activation quantizer: activations are non-negative
         // (input image in [0,1), ReLU after every hidden layer).
@@ -305,12 +365,21 @@ impl MappedModel {
                 let o = layer.out_size();
                 let rows = layer.weight_rows();
                 let mut out = Tensor::zeros(vec![layer.out_channels, o, o]);
-                let mut xq = vec![0u8; rows];
-                for pcol in 0..o * o {
-                    for (r, q) in xq.iter_mut().enumerate() {
-                        *q = quantize_act(cols.at2(r, pcol), xscale);
-                    }
-                    let y = ml.mvm(&xq, &self.adc);
+                // Quantize every output pixel's patch up front, then push
+                // the whole batch through the grid in one call.
+                let xqs: Vec<Vec<u8>> = (0..o * o)
+                    .map(|pcol| {
+                        (0..rows)
+                            .map(|r| quantize_act(cols.at2(r, pcol), xscale))
+                            .collect()
+                    })
+                    .collect();
+                let ys = if par && xqs.len() >= PAR_COLS {
+                    ml.mvm_batch_par(&xqs, &self.adc)
+                } else {
+                    ml.mvm_batch(&xqs, &self.adc)
+                };
+                for (pcol, y) in ys.iter().enumerate() {
                     for (oc, &v) in y.iter().enumerate() {
                         *out.at3_mut(oc, pcol / o, pcol % o) = v as f32 * rescale;
                     }

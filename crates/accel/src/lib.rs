@@ -32,6 +32,7 @@ pub mod hierarchy;
 pub mod mapping;
 pub mod metrics;
 pub mod noc;
+pub mod par;
 pub mod pipeline;
 pub mod repair;
 pub mod tile_shared;
@@ -41,6 +42,7 @@ pub use controller::{MappedLayer, MappedModel};
 pub use engine::{EngineStats, EvalEngine, FaultedEvalReport};
 pub use hierarchy::{AccelConfig, Tile};
 pub use metrics::{evaluate, EvalReport, LayerCost, LayerReport};
+pub use par::par_map;
 pub use pipeline::{
     balance_replication, pipeline_report, replicated_stages, PipelineReport, ReplicationPlan,
 };

@@ -1,118 +1,8 @@
 //! Deterministic fork-join helper for sweep drivers.
 //!
-//! A thin order-preserving `map` over `crossbeam::thread::scope` workers
-//! (the same pattern the accel controller uses for batch inference):
-//! items are split into contiguous chunks, each worker fills its chunk's
-//! output slots, and results come back in input order — so parallel sweeps
-//! return exactly what their serial loops returned.
+//! The implementation lives in [`autohet_accel::par`] now that the kernel
+//! layer (DESIGN.md §9) parallelizes batched MVMs over crossbars with the
+//! same helper; this module re-exports it so existing sweep-driver call
+//! sites keep working unchanged.
 
-/// Map `f` over `items` on up to `available_parallelism` scoped workers,
-/// preserving input order. Falls back to a plain serial map for zero or
-/// one item.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let f = &f;
-    // Join each worker explicitly so a panic can be attributed to its
-    // chunk (and the original payload preserved) instead of surfacing as
-    // an anonymous scope error.
-    let joined: Vec<Result<(), Box<dyn std::any::Any + Send>>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = out
-            .chunks_mut(chunk)
-            .zip(items.chunks(chunk))
-            .map(|(slot_chunk, item_chunk)| {
-                s.spawn(move |_| {
-                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                        *slot = Some(f(item));
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join()).collect()
-    })
-    .expect("parallel sweep worker pool panicked");
-    for (i, r) in joined.iter().enumerate() {
-        if let Err(payload) = r {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .copied()
-                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-                .unwrap_or("<non-string panic payload>");
-            panic!(
-                "par_map worker for chunk {i} (items {}..{}) panicked: {msg}",
-                i * chunk,
-                ((i + 1) * chunk).min(items.len())
-            );
-        }
-    }
-    out.into_iter()
-        .map(|r| r.expect("every slot filled by its worker"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = par_map(&items, |&x| x * x);
-        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn handles_empty_input() {
-        let none: Vec<u32> = Vec::new();
-        assert!(par_map(&none, |&x| x).is_empty());
-    }
-
-    #[test]
-    fn handles_single_item_without_spawning() {
-        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    #[should_panic(expected = "chunk 0")]
-    fn worker_panic_reports_originating_chunk() {
-        let items: Vec<u32> = (0..64).collect();
-        let _ = par_map(&items, |&x| {
-            assert!(x != 0, "poisoned item");
-            x
-        });
-    }
-
-    #[test]
-    #[should_panic(expected = "poisoned item")]
-    fn worker_panic_preserves_the_original_message() {
-        let items: Vec<u32> = (0..64).collect();
-        let _ = par_map(&items, |&x| {
-            assert!(x != 1, "poisoned item");
-            x
-        });
-    }
-
-    #[test]
-    fn matches_serial_map_for_awkward_sizes() {
-        // Sizes around worker-count boundaries exercise chunk remainders.
-        for n in [2usize, 3, 5, 7, 13, 17, 31] {
-            let items: Vec<usize> = (0..n).collect();
-            let out = par_map(&items, |&x| x.wrapping_mul(2654435761));
-            let serial: Vec<usize> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
-            assert_eq!(out, serial);
-        }
-    }
-}
+pub use autohet_accel::par::par_map;

@@ -276,6 +276,9 @@ pub fn rl_search_with_engine(
             });
         }
         noise.end_episode();
+        // Each train step runs the minibatch GEMM kernels (feature-major
+        // forward/backward in `autohet-rl`), whose fixed accumulation
+        // order keeps seeded searches bit-reproducible; see DESIGN.md §9.
         for _ in 0..scfg.train_steps {
             agent.train_step();
         }

@@ -7,9 +7,9 @@ use autohet_accel::hierarchy::Tile;
 use autohet_accel::tile_shared::combine_group;
 use autohet_dnn::ops::synthetic_weights;
 use autohet_dnn::Layer;
-use autohet_rl::{Ddpg, DdpgConfig, Experience};
+use autohet_rl::{Ddpg, DdpgConfig, Experience, Matrix};
 use autohet_xbar::utilization::footprint;
-use autohet_xbar::{Adc, CostParams, XbarShape};
+use autohet_xbar::{Adc, CostParams, Crossbar, XbarShape};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -58,6 +58,80 @@ fn bench_crossbar_mvm(c: &mut Criterion) {
     g.bench_function("bit_serial_108x64", |b| {
         b.iter(|| black_box(ml.mvm(black_box(&input), &adc)))
     });
+    // Batched entry point: 16 output-pixel columns through the same grid.
+    let inputs: Vec<Vec<u8>> = (0..16)
+        .map(|k| {
+            (0..layer.weight_rows())
+                .map(|i| ((i * 37 + k * 11) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    g.throughput(Throughput::Elements(
+        (inputs.len() * layer.weight_rows() * layer.weight_cols()) as u64,
+    ));
+    g.bench_function("batch16_108x64", |b| {
+        b.iter(|| black_box(ml.mvm_batch(black_box(&inputs), &adc)))
+    });
+    g.finish();
+}
+
+/// Raw crossbar fast path vs the retained scalar reference on the larger
+/// square candidates, fully populated.
+fn bench_crossbar_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/crossbar_mvm");
+    for side in [256usize, 512] {
+        let weights: Vec<Vec<i32>> = (0..side)
+            .map(|r| {
+                (0..side)
+                    .map(|j| ((r * 31 + j * 7) % 255) as i32 - 127)
+                    .collect()
+            })
+            .collect();
+        let xb = Crossbar::program(XbarShape::square(side as u32), &weights, 8);
+        let adc = Adc::new(10);
+        let input: Vec<u8> = (0..side).map(|i| (i * 53 % 256) as u8).collect();
+        g.throughput(Throughput::Elements((side * side) as u64));
+        g.bench_function(format!("fast_{side}x{side}"), |b| {
+            b.iter(|| black_box(xb.mvm(black_box(&input), &adc)))
+        });
+        g.bench_function(format!("scalar_{side}x{side}"), |b| {
+            b.iter(|| black_box(xb.mvm_scalar(black_box(&input), &adc)))
+        });
+    }
+    g.finish();
+}
+
+/// The GEMM kernel the batched MLP training runs on: one 64×64 weight
+/// matrix against a 64-sample stacked batch, versus per-sample matvecs.
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng_vals = (0..64usize * 64).map(|i| ((i * 37) as f64 * 0.01).sin());
+    let mut m = Matrix::zeros(64, 64);
+    for v in m.data_mut() {
+        *v = rng_vals.next().unwrap();
+    }
+    let xs: Vec<f64> = (0..64 * 64)
+        .map(|i| ((i * 13) as f64 * 0.02).cos())
+        .collect();
+    let mut g = c.benchmark_group("kernels/matmul");
+    g.throughput(Throughput::Elements((64 * 64 * 64) as u64));
+    g.bench_function("gemm_64x64_b64", |b| {
+        let mut out = Vec::new();
+        let mut stage = Vec::new();
+        b.iter(|| {
+            m.matmul_xt(black_box(&xs), 64, &mut out, &mut stage);
+            black_box(out.last().copied())
+        })
+    });
+    g.bench_function("matvec_64x64_b64", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for s in 0..64 {
+                let y = m.matvec(black_box(&xs[s * 64..(s + 1) * 64]));
+                last = y[63];
+            }
+            black_box(last)
+        })
+    });
     g.finish();
 }
 
@@ -88,6 +162,7 @@ fn bench_ddpg(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_footprint, bench_algorithm1, bench_crossbar_mvm, bench_ddpg
+    targets = bench_footprint, bench_algorithm1, bench_crossbar_mvm,
+        bench_crossbar_shapes, bench_matmul, bench_ddpg
 }
 criterion_main!(benches);

@@ -100,6 +100,23 @@ pub struct Ddpg {
     /// The experience pool (public so drivers can inspect fill level).
     pub replay: ReplayBuffer,
     rng: SmallRng,
+    scratch: TrainScratch,
+}
+
+/// Reusable flat batch buffers for [`Ddpg::train_step`] — the minibatch
+/// is stacked batch-major once per pass instead of cloning per sample.
+#[derive(Debug, Clone, Default)]
+struct TrainScratch {
+    /// Stacked states / next-states (`batch × state_dim`).
+    states: Vec<f64>,
+    /// Stacked critic inputs (`batch × (state_dim + 1)`).
+    critic_in: Vec<f64>,
+    /// TD targets (`batch`).
+    targets: Vec<f64>,
+    /// Stacked output gradients.
+    grads: Vec<f64>,
+    /// Per-sample `∂Q/∂a` extracted from the critic's input gradient.
+    dq_da: Vec<f64>,
 }
 
 impl Ddpg {
@@ -128,6 +145,7 @@ impl Ddpg {
             critic,
             rng,
             cfg,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -161,59 +179,84 @@ impl Ddpg {
 
     /// One minibatch update of critic, actor and targets. Returns `None`
     /// until the pool holds at least one batch.
+    ///
+    /// The whole pass is batched over the minibatch through the GEMM
+    /// kernels (DESIGN.md §9): one target-network evaluation, one critic
+    /// regression and one policy-gradient pass, each a single
+    /// forward/backward over the stacked batch. Gradient accumulation
+    /// keeps ascending batch order, so every update is bit-identical to
+    /// the per-sample formulation — seeded searches are unchanged.
     pub fn train_step(&mut self) -> Option<TrainStats> {
         if self.replay.len() < self.cfg.batch {
             return None;
         }
-        let batch: Vec<Experience> = self
-            .replay
-            .sample(self.cfg.batch, &mut self.rng)
-            .into_iter()
-            .cloned()
-            .collect();
+        // Borrow the sampled transitions in place — the networks and the
+        // pool are disjoint fields, so nothing needs cloning.
+        let batch = self.replay.sample(self.cfg.batch, &mut self.rng);
         let n = batch.len() as f64;
+        let b = batch.len();
+        let sd = self.cfg.state_dim;
+        let mut sc = std::mem::take(&mut self.scratch);
 
         // ---- Critic: regress toward the TD target.
-        // Precompute targets with the target networks.
-        let mut targets = Vec::with_capacity(batch.len());
+        // Targets from the target networks, one batched pass each.
+        sc.states.clear();
         for e in &batch {
-            let a_next = self.actor_target.forward(&e.next_state)[0];
-            let mut in_next = e.next_state.clone();
-            in_next.push(a_next);
-            let q_next = self.critic_target.forward(&in_next)[0];
-            let y = e.reward + if e.done { 0.0 } else { self.cfg.gamma * q_next };
-            targets.push(y);
+            sc.states.extend_from_slice(&e.next_state);
+        }
+        self.actor_target.forward_batch_infer(&sc.states, b);
+        sc.critic_in.clear();
+        for (e, a_next) in batch.iter().zip(self.actor_target.last_output()) {
+            sc.critic_in.extend_from_slice(&e.next_state);
+            sc.critic_in.push(*a_next);
+        }
+        let q_next = self.critic_target.forward_batch_infer(&sc.critic_in, b);
+        sc.targets.clear();
+        for (e, &qn) in batch.iter().zip(q_next) {
+            let y = e.reward + if e.done { 0.0 } else { self.cfg.gamma * qn };
+            sc.targets.push(y);
+        }
+        sc.critic_in.clear();
+        for e in &batch {
+            sc.critic_in.extend_from_slice(&e.state);
+            sc.critic_in.push(e.action);
         }
         self.critic.zero_grad();
+        let q = self.critic.forward_batch(&sc.critic_in, b);
         let mut critic_loss = 0.0;
-        for (e, &y) in batch.iter().zip(&targets) {
-            let mut input = e.state.clone();
-            input.push(e.action);
-            let q = self.critic.forward(&input)[0];
+        sc.grads.clear();
+        for (&q, &y) in q.iter().zip(&sc.targets) {
             let err = q - y;
             critic_loss += err * err;
-            self.critic.backward(&[2.0 * err]);
+            sc.grads.push(2.0 * err);
         }
         critic_loss /= n;
+        self.critic.backward_batch(&sc.grads);
         self.critic.adam_step(&mut self.critic_opt, n);
 
         // ---- Actor: ascend Q(s, μ(s)).
         self.actor.zero_grad();
-        let mut actor_q = 0.0;
+        sc.states.clear();
         for e in &batch {
-            let a = self.actor.forward(&e.state)[0];
-            let mut input = e.state.clone();
-            input.push(a);
-            let q = self.critic.forward(&input)[0];
-            actor_q += q;
-            // dQ/d(input); gradient ascent on Q ⇒ loss = -Q.
-            self.critic.zero_grad(); // discard critic param grads below
-            let din = self.critic.backward(&[-1.0]);
-            let dq_da = din[self.cfg.state_dim];
-            self.actor.backward(&[dq_da]);
+            sc.states.extend_from_slice(&e.state);
         }
-        actor_q /= n;
-        self.critic.zero_grad();
+        self.actor.forward_batch(&sc.states, b);
+        sc.critic_in.clear();
+        for (e, a) in batch.iter().zip(self.actor.last_output()) {
+            sc.critic_in.extend_from_slice(&e.state);
+            sc.critic_in.push(*a);
+        }
+        let q = self.critic.forward_batch_infer(&sc.critic_in, b);
+        let actor_q = q.iter().sum::<f64>() / n;
+        // dQ/d(input); gradient ascent on Q ⇒ loss = -Q. The critic's
+        // parameter gradients would be discarded, so propagate the input
+        // gradient only.
+        sc.grads.clear();
+        sc.grads.resize(b, -1.0);
+        let din = self.critic.backward_input_only_batch(&sc.grads);
+        sc.dq_da.clear();
+        sc.dq_da.extend(din.chunks(sd + 1).map(|d| d[sd]));
+        self.actor.backward_batch(&sc.dq_da);
         self.actor.adam_step(&mut self.actor_opt, n);
 
         // ---- Soft target updates.
@@ -222,6 +265,7 @@ impl Ddpg {
         self.critic_target
             .soft_update_from(&self.critic, self.cfg.tau);
 
+        self.scratch = sc;
         Some(TrainStats {
             critic_loss,
             actor_q,

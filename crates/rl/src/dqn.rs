@@ -81,6 +81,18 @@ pub struct Dqn {
     next_slot: usize,
     epsilon: f64,
     rng: SmallRng,
+    scratch: TrainScratch,
+}
+
+/// Reusable flat batch buffers for [`Dqn::train_step`].
+#[derive(Debug, Clone, Default)]
+struct TrainScratch {
+    /// Stacked states / next-states (`batch × state_dim`).
+    states: Vec<f64>,
+    /// TD targets (`batch`).
+    targets: Vec<f64>,
+    /// Stacked one-hot output gradients (`batch × actions`).
+    grads: Vec<f64>,
 }
 
 impl Dqn {
@@ -103,6 +115,7 @@ impl Dqn {
             q,
             rng,
             cfg,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -162,34 +175,48 @@ impl Dqn {
         let batch: Vec<DiscreteExperience> =
             idx.into_iter().map(|i| self.replay[i].clone()).collect();
         let n = batch.len() as f64;
+        let b = batch.len();
+        let acts = self.cfg.actions;
+        let mut sc = std::mem::take(&mut self.scratch);
 
-        // TD targets from the target network.
-        let mut targets = Vec::with_capacity(batch.len());
+        // TD targets from the target network, one batched pass
+        // (bit-identical to the per-sample loop; DESIGN.md §9).
+        sc.states.clear();
         for e in &batch {
-            let next_q = self.q_target.forward(&e.next_state);
-            let max_next = next_q.iter().cloned().fold(f64::MIN, f64::max);
+            sc.states.extend_from_slice(&e.next_state);
+        }
+        let next_q = self.q_target.forward_batch_infer(&sc.states, b);
+        sc.targets.clear();
+        for (e, nq) in batch.iter().zip(next_q.chunks(acts)) {
+            let max_next = nq.iter().cloned().fold(f64::MIN, f64::max);
             let y = e.reward
                 + if e.done {
                     0.0
                 } else {
                     self.cfg.gamma * max_next
                 };
-            targets.push(y);
+            sc.targets.push(y);
         }
 
         self.q.zero_grad();
+        sc.states.clear();
+        for e in &batch {
+            sc.states.extend_from_slice(&e.state);
+        }
+        let qv = self.q.forward_batch(&sc.states, b);
         let mut loss = 0.0;
-        for (e, &y) in batch.iter().zip(&targets) {
-            let qv = self.q.forward(&e.state);
-            let err = qv[e.action] - y;
+        sc.grads.clear();
+        sc.grads.resize(b * acts, 0.0);
+        for (s, (e, &y)) in batch.iter().zip(&sc.targets).enumerate() {
+            let err = qv[s * acts + e.action] - y;
             loss += err * err;
-            let mut grad = vec![0.0; self.cfg.actions];
-            grad[e.action] = 2.0 * err;
-            self.q.backward(&grad);
+            sc.grads[s * acts + e.action] = 2.0 * err;
         }
         loss /= n;
+        self.q.backward_batch(&sc.grads);
         self.q.adam_step(&mut self.opt, n);
         self.q_target.soft_update_from(&self.q, self.cfg.tau);
+        self.scratch = sc;
         Some(loss)
     }
 }

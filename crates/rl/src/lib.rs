@@ -26,6 +26,7 @@ pub mod replay;
 
 pub use ddpg::{Ddpg, DdpgConfig};
 pub use dqn::{DiscreteExperience, Dqn, DqnConfig};
+pub use matrix::Matrix;
 pub use nn::{Activation, Adam, Mlp};
 pub use noise::OuNoise;
 pub use replay::{Experience, PrioritizedReplay, ReplayBuffer};

@@ -6,6 +6,30 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Transpose `src` (`rows × cols`, row-major) into `dst` (`cols × rows`),
+/// walking 8×8 tiles so both sides stay cache-resident. Pure data
+/// movement — no arithmetic, so bit-exactness is trivial.
+pub(crate) fn transpose_into(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const T: usize = 8;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + T).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + T).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+}
+
 /// Dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -99,6 +123,170 @@ impl Matrix {
     pub fn zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    // ---- Batched (GEMM) kernels ----------------------------------------
+    //
+    // All three walk the weight matrix row-by-row in the outer loop so one
+    // row stays hot across the whole minibatch, but every *element* of the
+    // result is produced by the exact floating-point accumulation order of
+    // the per-sample kernel above (k-ascending dots, r-ascending transpose
+    // sums, s-ascending gradient accumulation) — so batched training is
+    // bit-identical to a per-sample loop (DESIGN.md §9).
+
+    /// `out[s] = A·x_s` for `batch` inputs stacked batch-major in `xs`
+    /// (`batch × cols`); writes `batch × rows` into `out` (reusing its
+    /// allocation, with `scratch` as the staging buffer).
+    ///
+    /// Internally the batch is staged feature-major so the hot loop is a
+    /// broadcast-multiply over a contiguous sample vector — `batch`
+    /// independent accumulator chains the compiler can vectorize, where
+    /// `matvec`'s single serial dot cannot be. The staging transposes are
+    /// pure data movement: every output element still accumulates its
+    /// products from 0.0 in ascending-k order, exactly like `matvec`'s
+    /// dot, so results are bit-identical to the per-sample call.
+    pub fn matmul_xt(&self, xs: &[f64], batch: usize, out: &mut Vec<f64>, scratch: &mut Vec<f64>) {
+        assert_eq!(xs.len(), batch * self.cols);
+        out.clear();
+        out.resize(batch * self.rows, 0.0);
+        if batch == 1 {
+            // Single sample: skip the staging round-trip.
+            for (o, row) in out.iter_mut().zip(self.data.chunks(self.cols)) {
+                *o = row.iter().zip(xs).map(|(a, b)| a * b).sum();
+            }
+            return;
+        }
+        scratch.clear();
+        scratch.resize((self.cols + self.rows) * batch, 0.0);
+        let (xt, yt) = scratch.split_at_mut(self.cols * batch);
+        transpose_into(xs, batch, self.cols, xt);
+        self.matmul_fm_core(xt, batch, yt);
+        transpose_into(yt, self.rows, batch, out);
+    }
+
+    /// Feature-major GEMM: `yt = A·xt` where `xt` is `cols × batch` and
+    /// `yt` comes out `rows × batch` (reusing its allocation). This is the
+    /// layout the MLP keeps activations in between layers — no staging
+    /// transposes. Each output element accumulates its products from 0.0
+    /// in ascending-k order, exactly like `matvec`'s dot.
+    pub fn matmul_fm(&self, xt: &[f64], batch: usize, yt: &mut Vec<f64>) {
+        assert_eq!(xt.len(), batch * self.cols);
+        yt.clear();
+        yt.resize(batch * self.rows, 0.0);
+        if batch == 1 {
+            // Single sample (both layouts coincide): plain dots.
+            for (o, row) in yt.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+                *o = row.iter().zip(xt).map(|(a, b)| a * b).sum();
+            }
+            return;
+        }
+        self.matmul_fm_core(xt, batch, yt);
+    }
+
+    /// `matmul_fm` on a pre-zeroed output slice.
+    ///
+    /// `chunks_exact` (sizes divide exactly by construction) lets the
+    /// compiler vectorize the broadcast inner loop across the batch.
+    fn matmul_fm_core(&self, xt: &[f64], batch: usize, yt: &mut [f64]) {
+        for (row, y) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(yt.chunks_exact_mut(batch))
+        {
+            for (&a, xk) in row.iter().zip(xt.chunks_exact(batch)) {
+                for (yv, &xv) in y.iter_mut().zip(xk) {
+                    *yv += a * xv;
+                }
+            }
+        }
+    }
+
+    /// Feature-major transpose product: `din = Aᵀ·g` where `g` is
+    /// `rows × batch` and `din` comes out `cols × batch`. Every element
+    /// accumulates over `r` in ascending order, like `matvec_t`.
+    pub fn matmul_t_fm(&self, g_fm: &[f64], batch: usize, din: &mut Vec<f64>) {
+        assert_eq!(g_fm.len(), batch * self.rows);
+        din.clear();
+        din.resize(batch * self.cols, 0.0);
+        if batch == 1 {
+            for (row, &gr) in self.data.chunks_exact(self.cols).zip(g_fm) {
+                for (dv, &a) in din.iter_mut().zip(row) {
+                    *dv += a * gr;
+                }
+            }
+            return;
+        }
+        for (row, g_r) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(g_fm.chunks_exact(batch))
+        {
+            for (&a, d_c) in row.iter().zip(din.chunks_exact_mut(batch)) {
+                for (dv, &gv) in d_c.iter_mut().zip(g_r) {
+                    *dv += a * gv;
+                }
+            }
+        }
+    }
+
+    /// `A += Σ_s g_s ⊗ x_s` with feature-major gradients (`rows × batch`)
+    /// and batch-major inputs (`batch × cols`) — every element accumulates
+    /// the samples in ascending batch order, identical to per-sample
+    /// `add_outer` calls.
+    pub fn add_outer_batch_fm(&mut self, g_fm: &[f64], xs: &[f64], batch: usize) {
+        assert_eq!(g_fm.len(), batch * self.rows);
+        assert_eq!(xs.len(), batch * self.cols);
+        if batch == 1 {
+            self.add_outer(g_fm, xs);
+            return;
+        }
+        for (row, g_r) in self
+            .data
+            .chunks_exact_mut(self.cols)
+            .zip(g_fm.chunks_exact(batch))
+        {
+            for (&gr, x_s) in g_r.iter().zip(xs.chunks_exact(self.cols)) {
+                for (a, &xv) in row.iter_mut().zip(x_s) {
+                    *a += gr * xv;
+                }
+            }
+        }
+    }
+
+    /// `out[s] = Aᵀ·g_s` for `batch` gradients stacked batch-major in `gs`
+    /// (`batch × rows`); writes `batch × cols` into `out`. Every element
+    /// accumulates over `r` in ascending order, like `matvec_t`.
+    pub fn matmul_t(&self, gs: &[f64], batch: usize, out: &mut Vec<f64>) {
+        assert_eq!(gs.len(), batch * self.rows);
+        out.clear();
+        out.resize(batch * self.cols, 0.0);
+        for (r, row) in self.data.chunks_exact(self.cols).enumerate() {
+            for (g_s, y_s) in gs
+                .chunks_exact(self.rows)
+                .zip(out.chunks_exact_mut(self.cols))
+            {
+                let gr = g_s[r];
+                for (yc, &a) in y_s.iter_mut().zip(row) {
+                    *yc += a * gr;
+                }
+            }
+        }
+    }
+
+    /// `A += Σ_s g_s ⊗ x_s` over the stacked batch — every element
+    /// accumulates the samples in ascending batch order, identical to
+    /// calling `add_outer` once per sample.
+    pub fn add_outer_batch(&mut self, gs: &[f64], xs: &[f64], batch: usize) {
+        assert_eq!(gs.len(), batch * self.rows);
+        assert_eq!(xs.len(), batch * self.cols);
+        for (r, row) in self.data.chunks_exact_mut(self.cols).enumerate() {
+            for (g_s, x_s) in gs.chunks_exact(self.rows).zip(xs.chunks_exact(self.cols)) {
+                let gr = g_s[r];
+                for (a, &xv) in row.iter_mut().zip(x_s) {
+                    *a += gr * xv;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +333,96 @@ mod tests {
         let b = Matrix::random(4, 4, 0.5, &mut r2);
         assert_eq!(a, b);
         assert!(a.data().iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn matmul_xt_is_batched_matvec_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let m = Matrix::random(5, 7, 1.0, &mut rng);
+        let xs: Vec<f64> = (0..3 * 7).map(|i| ((i * 13) as f64).sin()).collect();
+        let mut out = Vec::new();
+        let mut stage = Vec::new();
+        m.matmul_xt(&xs, 3, &mut out, &mut stage);
+        for s in 0..3 {
+            let y = m.matvec(&xs[s * 7..(s + 1) * 7]);
+            assert_eq!(&out[s * 5..(s + 1) * 5], &y[..], "sample {s}");
+        }
+    }
+
+    #[test]
+    fn matmul_t_is_batched_matvec_t_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let m = Matrix::random(6, 4, 1.0, &mut rng);
+        let gs: Vec<f64> = (0..3 * 6).map(|i| ((i * 7) as f64).cos()).collect();
+        let mut out = Vec::new();
+        m.matmul_t(&gs, 3, &mut out);
+        for s in 0..3 {
+            let y = m.matvec_t(&gs[s * 6..(s + 1) * 6]);
+            assert_eq!(&out[s * 4..(s + 1) * 4], &y[..], "sample {s}");
+        }
+    }
+
+    #[test]
+    fn add_outer_batch_matches_sequential_add_outer() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut a = Matrix::random(4, 5, 1.0, &mut rng);
+        let mut b = a.clone();
+        let gs: Vec<f64> = (0..3 * 4).map(|i| (i as f64 * 0.37).sin()).collect();
+        let xs: Vec<f64> = (0..3 * 5).map(|i| (i as f64 * 0.53).cos()).collect();
+        a.add_outer_batch(&gs, &xs, 3);
+        for s in 0..3 {
+            b.add_outer(&gs[s * 4..(s + 1) * 4], &xs[s * 5..(s + 1) * 5]);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fm_kernels_match_batch_major_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let m = Matrix::random(5, 7, 1.0, &mut rng);
+        let batch = 4;
+        let xs: Vec<f64> = (0..batch * 7).map(|i| ((i * 13) as f64).sin()).collect();
+        // matmul_fm on the transposed input == matmul_xt transposed back.
+        let mut xt = vec![0.0; xs.len()];
+        transpose_into(&xs, batch, 7, &mut xt);
+        let mut yt = Vec::new();
+        m.matmul_fm(&xt, batch, &mut yt);
+        let (mut out, mut stage) = (Vec::new(), Vec::new());
+        m.matmul_xt(&xs, batch, &mut out, &mut stage);
+        let mut y_bm = vec![0.0; yt.len()];
+        transpose_into(&yt, 5, batch, &mut y_bm);
+        assert_eq!(y_bm, out);
+        // matmul_t_fm == per-sample matvec_t.
+        let gs: Vec<f64> = (0..batch * 5).map(|i| ((i * 7) as f64).cos()).collect();
+        let mut g_fm = vec![0.0; gs.len()];
+        transpose_into(&gs, batch, 5, &mut g_fm);
+        let mut din_fm = Vec::new();
+        m.matmul_t_fm(&g_fm, batch, &mut din_fm);
+        for s in 0..batch {
+            let d = m.matvec_t(&gs[s * 5..(s + 1) * 5]);
+            for (c, &dv) in d.iter().enumerate() {
+                assert_eq!(din_fm[c * batch + s], dv, "sample {s} col {c}");
+            }
+        }
+        // add_outer_batch_fm == sequential add_outer.
+        let mut a = m.clone();
+        let mut b = m.clone();
+        a.add_outer_batch_fm(&g_fm, &xs, batch);
+        for s in 0..batch {
+            b.add_outer(&gs[s * 5..(s + 1) * 5], &xs[s * 7..(s + 1) * 7]);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let src: Vec<f64> = (0..11 * 17).map(|i| i as f64).collect();
+        let mut t = vec![0.0; src.len()];
+        let mut back = vec![0.0; src.len()];
+        transpose_into(&src, 11, 17, &mut t);
+        transpose_into(&t, 17, 11, &mut back);
+        assert_eq!(src, back);
+        assert_eq!(t[3 * 11 + 2], src[2 * 17 + 3]);
     }
 
     #[test]

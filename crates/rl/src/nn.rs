@@ -5,7 +5,7 @@
 //! differences in this module's tests, so the DDPG layer above can trust
 //! them unconditionally.
 
-use crate::matrix::Matrix;
+use crate::matrix::{transpose_into, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -50,14 +50,31 @@ impl Activation {
 }
 
 /// One dense layer with cached forward state and accumulated gradients.
+///
+/// Forward/backward run over a stacked minibatch through the GEMM kernels
+/// in [`crate::matrix`]; single-sample calls are the `batch == 1` case.
+/// Activations live **feature-major** (`n_out × batch`) between layers —
+/// each layer consumes its predecessor's `out_fm` cache directly, so a
+/// forward chain performs no staging transposes at all. A batch-major
+/// mirror (`output`) is materialized only where something reads it: the
+/// public forward API and the weight-gradient accumulation. The caches
+/// are volatile scratch (`serde(skip)`) and reuse their allocations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Dense {
     w: Matrix,
     b: Vec<f64>,
     act: Activation,
-    // forward caches
-    input: Vec<f64>,
+    /// Forward output cache, feature-major `n_out × batch`. The next
+    /// layer reads its input straight from here.
+    #[serde(skip)]
+    out_fm: Vec<f64>,
+    /// Batch-major mirror of `out_fm` (`batch × n_out`); empty after an
+    /// inference-only forward (see [`Mlp::forward_batch_infer`]).
+    #[serde(skip)]
     output: Vec<f64>,
+    /// `δ = grad_out ⊙ act′(output)` backward scratch, feature-major.
+    #[serde(skip)]
+    delta: Vec<f64>,
     // accumulated gradients
     gw: Matrix,
     gb: Vec<f64>,
@@ -76,8 +93,9 @@ impl Dense {
             w: Matrix::random(n_out, n_in, limit, rng),
             b: vec![0.0; n_out],
             act,
-            input: Vec::new(),
+            out_fm: Vec::new(),
             output: Vec::new(),
+            delta: Vec::new(),
             gw: Matrix::zeros(n_out, n_in),
             gb: vec![0.0; n_out],
             mw: Matrix::zeros(n_out, n_in),
@@ -87,33 +105,62 @@ impl Dense {
         }
     }
 
-    fn forward(&mut self, x: &[f64]) -> Vec<f64> {
-        self.input = x.to_vec();
-        let mut y = self.w.matvec(x);
-        for (v, b) in y.iter_mut().zip(&self.b) {
-            *v = self.act.apply(*v + b);
+    /// Forward `batch` feature-major stacked inputs into the feature-major
+    /// output cache; the batch-major mirror is produced only if `mirror`
+    /// (the backward pass reads it as the next layer's GEMM input).
+    fn forward_fm(&mut self, x_fm: &[f64], batch: usize, mirror: bool) {
+        let (n_out, _) = self.w.dims();
+        self.w.matmul_fm(x_fm, batch, &mut self.out_fm);
+        // Bias + activation on contiguous per-feature runs; value-for-
+        // value the same scalar ops as the batch-major formulation.
+        for (y_r, &b) in self.out_fm.chunks_exact_mut(batch).zip(&self.b) {
+            for v in y_r {
+                *v = self.act.apply(*v + b);
+            }
         }
-        self.output = y.clone();
-        y
+        self.output.clear();
+        if mirror {
+            self.output.resize(n_out * batch, 0.0);
+            if batch == 1 {
+                self.output.copy_from_slice(&self.out_fm);
+            } else {
+                transpose_into(&self.out_fm, n_out, batch, &mut self.output);
+            }
+        }
     }
 
-    /// Accumulate gradients for the last forward pass; return dLoss/dInput.
-    fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            grad_out.len(),
-            self.output.len(),
-            "backward before forward?"
+    /// `δ = grad ⊙ act′(out)` into the feature-major delta scratch.
+    fn compute_delta(&mut self, g_fm: &[f64]) {
+        assert_eq!(g_fm.len(), self.out_fm.len(), "backward before forward?");
+        self.delta.clear();
+        self.delta.extend(
+            g_fm.iter()
+                .zip(&self.out_fm)
+                .map(|(&g, &y)| g * self.act.derivative_from_output(y)),
         );
-        let delta: Vec<f64> = grad_out
-            .iter()
-            .zip(&self.output)
-            .map(|(&g, &y)| g * self.act.derivative_from_output(y))
-            .collect();
-        self.gw.add_outer(&delta, &self.input);
-        for (gb, d) in self.gb.iter_mut().zip(&delta) {
-            *gb += d;
+    }
+
+    /// Accumulate gradients for the cached forward batch (whose
+    /// batch-major input was `xs`); writes feature-major dLoss/dInput
+    /// into `din`.
+    fn backward_fm(&mut self, g_fm: &[f64], xs: &[f64], batch: usize, din: &mut Vec<f64>) {
+        self.compute_delta(g_fm);
+        self.gw.add_outer_batch_fm(&self.delta, xs, batch);
+        for (gb, d_r) in self.gb.iter_mut().zip(self.delta.chunks_exact(batch)) {
+            for &d in d_r {
+                *gb += d;
+            }
         }
-        self.w.matvec_t(&delta)
+        self.w.matmul_t_fm(&self.delta, batch, din);
+    }
+
+    /// Like `backward_fm` but only propagates dLoss/dInput — parameter
+    /// gradients are left untouched. For passes whose parameter grads
+    /// would be discarded (the DDPG actor update backprops through the
+    /// critic only to reach `∂Q/∂a`).
+    fn backward_input_only_fm(&mut self, g_fm: &[f64], batch: usize, din: &mut Vec<f64>) {
+        self.compute_delta(g_fm);
+        self.w.matmul_t_fm(&self.delta, batch, din);
     }
 
     fn zero_grad(&mut self) {
@@ -149,6 +196,24 @@ impl Adam {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
+    /// Layer-0 input cache, batch-major (read by the weight-gradient
+    /// accumulation in backward).
+    #[serde(skip)]
+    x0: Vec<f64>,
+    /// Layer-0 input staged feature-major for the GEMM chain (the only
+    /// input transpose a forward pass makes; later layers read their
+    /// predecessor's feature-major output cache in place).
+    #[serde(skip)]
+    x0_fm: Vec<f64>,
+    /// Batch size of the cached forward pass.
+    #[serde(skip)]
+    batch: usize,
+    /// Ping-pong gradient buffers for the backward chain (feature-major;
+    /// `grad_a` holds the batch-major input gradient after a backward).
+    #[serde(skip)]
+    grad_a: Vec<f64>,
+    #[serde(skip)]
+    grad_b: Vec<f64>,
 }
 
 impl Mlp {
@@ -169,26 +234,145 @@ impl Mlp {
                 Dense::new(w[0], w[1], act, rng)
             })
             .collect();
-        Mlp { layers }
+        Mlp {
+            layers,
+            x0: Vec::new(),
+            x0_fm: Vec::new(),
+            batch: 0,
+            grad_a: Vec::new(),
+            grad_b: Vec::new(),
+        }
     }
 
     /// Forward pass (caches activations for a subsequent backward).
     pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
-        let mut h = x.to_vec();
-        for l in &mut self.layers {
-            h = l.forward(&h);
+        self.forward_batch(x, 1).to_vec()
+    }
+
+    /// Forward a stacked minibatch (batch-major `batch × in_dim`); returns
+    /// the head outputs (`batch × out_dim`), caching activations for a
+    /// subsequent [`Mlp::backward_batch`]. Every output element is
+    /// bit-identical to a per-sample [`Mlp::forward`] on that sample.
+    pub fn forward_batch(&mut self, xs: &[f64], batch: usize) -> &[f64] {
+        self.forward_inner(xs, batch, true)
+    }
+
+    /// [`Mlp::forward_batch`] for inference-only passes: hidden layers
+    /// skip their batch-major mirrors (nothing will read them — they only
+    /// feed a subsequent `backward_batch`'s weight-gradient accumulation,
+    /// which panics on the emptied caches if called by mistake). Output
+    /// values are bit-identical to `forward_batch`; a later
+    /// [`Mlp::backward_input_only_batch`] is still valid.
+    pub fn forward_batch_infer(&mut self, xs: &[f64], batch: usize) -> &[f64] {
+        self.forward_inner(xs, batch, false)
+    }
+
+    fn forward_inner(&mut self, xs: &[f64], batch: usize, train: bool) -> &[f64] {
+        assert_eq!(xs.len() % batch, 0);
+        let in_dim = xs.len() / batch;
+        self.x0.clear();
+        self.x0_fm.clear();
+        if train {
+            self.x0.extend_from_slice(xs);
         }
-        h
+        if batch == 1 {
+            self.x0_fm.extend_from_slice(xs);
+        } else {
+            self.x0_fm.resize(xs.len(), 0.0);
+            transpose_into(xs, batch, in_dim, &mut self.x0_fm);
+        }
+        self.batch = batch;
+        let n = self.layers.len();
+        self.layers[0].forward_fm(&self.x0_fm, batch, train || n == 1);
+        for i in 1..n {
+            // split_at_mut keeps the predecessor's output borrow disjoint
+            // from the layer being run. The head always mirrors so the
+            // public output stays batch-major.
+            let (done, rest) = self.layers.split_at_mut(i);
+            let h = &done[i - 1].out_fm;
+            rest[0].forward_fm(h, batch, train || i + 1 == n);
+        }
+        &self.layers[n - 1].output
     }
 
     /// Backpropagate `grad_out` (dLoss/dOutput), accumulating parameter
     /// gradients; returns dLoss/dInput.
     pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
-        let mut g = grad_out.to_vec();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+        self.backward_batch(grad_out).to_vec()
+    }
+
+    /// Backpropagate stacked output gradients (`batch × out_dim`, matching
+    /// the cached forward batch), accumulating parameter gradients in
+    /// ascending batch order; returns dLoss/dInput (`batch × in_dim`).
+    /// Bit-identical to per-sample [`Mlp::backward`] calls in batch order.
+    pub fn backward_batch(&mut self, grad_out: &[f64]) -> &[f64] {
+        let batch = self.batch;
+        let mut g = std::mem::take(&mut self.grad_a);
+        let mut din = std::mem::take(&mut self.grad_b);
+        let x0 = std::mem::take(&mut self.x0);
+        Self::stage_head_grad(grad_out, batch, &mut g);
+        for i in (0..self.layers.len()).rev() {
+            let (done, rest) = self.layers.split_at_mut(i);
+            let input: &[f64] = if i == 0 { &x0 } else { &done[i - 1].output };
+            rest[0].backward_fm(&g, input, batch, &mut din);
+            std::mem::swap(&mut g, &mut din);
         }
-        g
+        Self::unstage_input_grad(&g, batch, &mut din);
+        self.x0 = x0;
+        self.grad_a = din;
+        self.grad_b = g;
+        &self.grad_a
+    }
+
+    /// Backpropagate stacked output gradients to the input *without*
+    /// accumulating parameter gradients; returns dLoss/dInput. The input
+    /// gradient is bit-identical to [`Mlp::backward_batch`]'s.
+    pub fn backward_input_only_batch(&mut self, grad_out: &[f64]) -> &[f64] {
+        let batch = self.batch;
+        let mut g = std::mem::take(&mut self.grad_a);
+        let mut din = std::mem::take(&mut self.grad_b);
+        Self::stage_head_grad(grad_out, batch, &mut g);
+        for i in (0..self.layers.len()).rev() {
+            self.layers[i].backward_input_only_fm(&g, batch, &mut din);
+            std::mem::swap(&mut g, &mut din);
+        }
+        Self::unstage_input_grad(&g, batch, &mut din);
+        self.grad_a = din;
+        self.grad_b = g;
+        &self.grad_a
+    }
+
+    /// Stage the batch-major head gradient feature-major (for the paper's
+    /// scalar-headed actor/critic nets the layouts coincide and this is a
+    /// plain copy).
+    fn stage_head_grad(grad_out: &[f64], batch: usize, g_fm: &mut Vec<f64>) {
+        assert_eq!(grad_out.len() % batch, 0);
+        let out_dim = grad_out.len() / batch;
+        g_fm.clear();
+        if out_dim == 1 || batch == 1 {
+            g_fm.extend_from_slice(grad_out);
+        } else {
+            g_fm.resize(grad_out.len(), 0.0);
+            transpose_into(grad_out, batch, out_dim, g_fm);
+        }
+    }
+
+    /// Transpose the feature-major input gradient back to the public
+    /// batch-major layout.
+    fn unstage_input_grad(g_fm: &[f64], batch: usize, din: &mut Vec<f64>) {
+        let in_dim = g_fm.len() / batch;
+        din.clear();
+        din.resize(g_fm.len(), 0.0);
+        if in_dim == 1 || batch == 1 {
+            din.copy_from_slice(g_fm);
+        } else {
+            transpose_into(g_fm, in_dim, batch, din);
+        }
+    }
+
+    /// The head outputs cached by the last forward pass (batch-major).
+    pub fn last_output(&self) -> &[f64] {
+        &self.layers[self.layers.len() - 1].output
     }
 
     /// Clear accumulated gradients.
@@ -202,25 +386,26 @@ impl Mlp {
         opt.t += 1;
         let bc1 = 1.0 - opt.beta1.powi(opt.t as i32);
         let bc2 = 1.0 - opt.beta2.powi(opt.t as i32);
+        // Streaming zips instead of indexed access: no bounds checks, and
+        // the per-element update (same op order as ever) vectorizes.
+        let step = |w: &mut f64, g: f64, m: &mut f64, v: &mut f64| {
+            let g = g / scale;
+            *m = opt.beta1 * *m + (1.0 - opt.beta1) * g;
+            *v = opt.beta2 * *v + (1.0 - opt.beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *w -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+        };
         for l in &mut self.layers {
-            let n = l.w.data().len();
-            for i in 0..n {
-                let g = l.gw.data()[i] / scale;
-                let m = &mut l.mw.data_mut()[i];
-                *m = opt.beta1 * *m + (1.0 - opt.beta1) * g;
-                let v = &mut l.vw.data_mut()[i];
-                *v = opt.beta2 * *v + (1.0 - opt.beta2) * g * g;
-                let mhat = l.mw.data()[i] / bc1;
-                let vhat = l.vw.data()[i] / bc2;
-                l.w.data_mut()[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+            let ws = l.w.data_mut().iter_mut().zip(l.gw.data());
+            let moments = l.mw.data_mut().iter_mut().zip(l.vw.data_mut().iter_mut());
+            for ((w, &g), (m, v)) in ws.zip(moments) {
+                step(w, g, m, v);
             }
-            for i in 0..l.b.len() {
-                let g = l.gb[i] / scale;
-                l.mb[i] = opt.beta1 * l.mb[i] + (1.0 - opt.beta1) * g;
-                l.vb[i] = opt.beta2 * l.vb[i] + (1.0 - opt.beta2) * g * g;
-                let mhat = l.mb[i] / bc1;
-                let vhat = l.vb[i] / bc2;
-                l.b[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+            let bs = l.b.iter_mut().zip(&l.gb);
+            let moments = l.mb.iter_mut().zip(l.vb.iter_mut());
+            for ((w, &g), (m, v)) in bs.zip(moments) {
+                step(w, g, m, v);
             }
         }
     }
@@ -415,6 +600,69 @@ mod tests {
             let x: Vec<f64> = (0..4).map(|i| ((s * 4 + i) as f64).sin() * 10.0).collect();
             let y = net.forward(&x)[0];
             assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn batched_forward_backward_is_bit_identical_to_per_sample() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let net = Mlp::new(&[4, 8, 6, 2], Activation::Relu, Activation::Tanh, &mut rng);
+        let batch = 5;
+        let xs: Vec<f64> = (0..batch * 4)
+            .map(|i| ((i * 29) as f64 * 0.1).sin())
+            .collect();
+        let gs: Vec<f64> = (0..batch * 2)
+            .map(|i| ((i * 17) as f64 * 0.1).cos())
+            .collect();
+
+        // Per-sample reference: forward/backward each sample in order.
+        let mut a = net.clone();
+        a.zero_grad();
+        let mut ys = Vec::new();
+        let mut dins = Vec::new();
+        for s in 0..batch {
+            ys.extend(a.forward(&xs[s * 4..(s + 1) * 4]));
+            dins.extend(a.backward(&gs[s * 2..(s + 1) * 2]));
+        }
+
+        // Batched: one forward + one backward over the stack.
+        let mut b = net.clone();
+        b.zero_grad();
+        let yb = b.forward_batch(&xs, batch).to_vec();
+        let db = b.backward_batch(&gs).to_vec();
+        assert_eq!(yb, ys);
+        assert_eq!(db, dins);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.gw, lb.gw, "weight grads diverge");
+            assert_eq!(la.gb, lb.gb, "bias grads diverge");
+        }
+    }
+
+    #[test]
+    fn interleaved_forward_backward_matches_batched_gradients() {
+        // The DDPG critic regression interleaves forward(s)/backward(s)
+        // per sample; gradients don't feed back into forward, so the
+        // batched pass must accumulate the same totals.
+        let mut rng = SmallRng::seed_from_u64(15);
+        let net = Mlp::new(&[3, 6, 1], Activation::Relu, Activation::Linear, &mut rng);
+        let batch = 4;
+        let xs: Vec<f64> = (0..batch * 3).map(|i| (i as f64 * 0.3).sin()).collect();
+
+        let mut a = net.clone();
+        a.zero_grad();
+        for s in 0..batch {
+            let y = a.forward(&xs[s * 3..(s + 1) * 3])[0];
+            a.backward(&[2.0 * y]);
+        }
+
+        let mut b = net.clone();
+        b.zero_grad();
+        let ys = b.forward_batch(&xs, batch).to_vec();
+        let gs: Vec<f64> = ys.iter().map(|&y| 2.0 * y).collect();
+        b.backward_batch(&gs);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.gw, lb.gw);
+            assert_eq!(la.gb, lb.gb);
         }
     }
 

@@ -42,6 +42,14 @@ impl Adc {
         let v = analog.round() as i64;
         v.clamp(0, self.max_level())
     }
+
+    /// Sample an already-integral bitline sum (the bit-packed fast path):
+    /// saturation only, no rounding. Bit-identical to `sample(v as f64)`
+    /// for every `v` a crossbar bitline can produce (far below 2⁵³).
+    #[inline]
+    pub fn sample_exact(&self, v: i64) -> i64 {
+        v.clamp(0, self.max_level())
+    }
 }
 
 #[cfg(test)]

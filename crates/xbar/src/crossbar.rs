@@ -26,8 +26,17 @@
 use crate::adc::Adc;
 use crate::dac;
 use crate::geometry::XbarShape;
+use crate::kernels::{self, PackedInput, PackedWeights, XbarScratch};
 use crate::noise::NoiseModel;
 use rand::Rng;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread MVM scratch so the allocation-free fast path is available
+    /// through the plain [`Crossbar::mvm`] signature, including when one
+    /// crossbar is shared across inference worker threads.
+    static MVM_SCRATCH: RefCell<XbarScratch> = RefCell::new(XbarScratch::new());
+}
 
 /// A programmed logical crossbar (all its physical bit-plane slices).
 ///
@@ -51,6 +60,11 @@ pub struct Crossbar {
     planes: Vec<Vec<f64>>,
     rows_used: usize,
     cols_used: usize,
+    /// Bit-packed per-column weight slices (DESIGN.md §9). `Some` while
+    /// every used conductance is an exact integer level — rebuilt after
+    /// every mutation, dropped when analog variation makes cells
+    /// non-integral (the MVM then falls back to `f64` accumulation).
+    packed: Option<PackedWeights>,
 }
 
 impl Crossbar {
@@ -107,14 +121,30 @@ impl Crossbar {
                 }
             }
         }
-        Crossbar {
+        let mut xb = Crossbar {
             shape,
             weight_bits,
             cell_bits,
             planes,
             rows_used,
             cols_used,
-        }
+            packed: None,
+        };
+        xb.repack();
+        xb
+    }
+
+    /// Rebuild the bit-packed fast-path weights from the conductance
+    /// planes. Call after any plane mutation; packing silently degrades to
+    /// `None` (the `f64` fallback) when cells are no longer exact levels.
+    fn repack(&mut self) {
+        self.packed = PackedWeights::from_planes(
+            &self.planes,
+            self.rows_used,
+            self.cols_used,
+            self.shape.cols as usize,
+            self.cell_bits,
+        );
     }
 
     /// Crossbar shape.
@@ -129,26 +159,200 @@ impl Crossbar {
 
     /// Apply a device noise model to every programmed cell (stuck-at-one
     /// faults pin cells to the full conductance level of the cell's
-    /// precision).
+    /// precision). Per-cell RNG consumption order is plane-major then
+    /// row-major over the used region, so seeded noise stays reproducible.
     pub fn apply_noise<R: Rng>(&mut self, model: &NoiseModel, rng: &mut R) {
         if model.is_ideal() {
             return;
         }
         let max_level = ((1_u64 << self.cell_bits) - 1) as f64;
         let cols = self.shape.cols as usize;
+        let (rows_used, cols_used) = (self.rows_used, self.cols_used);
         for plane in &mut self.planes {
-            for r in 0..self.rows_used {
-                for cell in &mut plane[r * cols..r * cols + self.cols_used] {
+            // One chunked walk over the used window per plane instead of
+            // re-slicing from flat indices on every row.
+            for row in plane.chunks_mut(cols).take(rows_used) {
+                for cell in &mut row[..cols_used] {
                     *cell = model.perturb_leveled(*cell, max_level, rng);
                 }
             }
         }
+        // Keep the fast path coherent: pure stuck-at faults leave integer
+        // levels (repack succeeds); conductance variation drops to the
+        // `f64` fallback.
+        self.repack();
+    }
+
+    /// True while the bit-packed integer fast path is active (exact
+    /// conductance levels — always right after programming, lost after
+    /// analog variation).
+    pub fn is_bit_packed(&self) -> bool {
+        self.packed.is_some()
     }
 
     /// One bit-serial MVM: `result[j] = Σ_r input[r] · w[r][j]` over the
     /// used columns. `input.len()` must equal the used row count; samples
     /// run through `adc` (exact when the ADC covers the active-row count).
+    ///
+    /// This is the bit-packed fast path (thread-local scratch, no per-call
+    /// buffer allocation); it is bit-identical to [`Crossbar::mvm_scalar`]
+    /// for every shape, `cell_bits`, ADC resolution and noise state.
     pub fn mvm(&self, input: &[u8], adc: &Adc) -> Vec<i64> {
+        MVM_SCRATCH.with(|s| self.mvm_with_scratch(input, adc, &mut s.borrow_mut()))
+    }
+
+    /// [`Crossbar::mvm`] with a caller-managed scratch, for hot loops that
+    /// want buffer reuse without the thread-local indirection.
+    pub fn mvm_with_scratch(&self, input: &[u8], adc: &Adc, scratch: &mut XbarScratch) -> Vec<i64> {
+        assert_eq!(input.len(), self.rows_used, "input/row mismatch");
+        scratch.input.pack(input);
+        let packed = std::mem::take(&mut scratch.input);
+        let out = self.mvm_packed(&packed, adc, scratch);
+        scratch.input = packed;
+        out
+    }
+
+    /// MVM over an already-packed input (callers that push one input slice
+    /// through a whole grid row of crossbars pack it once). The pack's
+    /// length must equal this crossbar's used row count.
+    pub fn mvm_packed(
+        &self,
+        input: &PackedInput,
+        adc: &Adc,
+        scratch: &mut XbarScratch,
+    ) -> Vec<i64> {
+        assert_eq!(input.len(), self.rows_used, "input/row mismatch");
+        let mut acc = vec![0_i64; self.cols_used];
+        if input.nonzero_planes() != 0 {
+            match &self.packed {
+                Some(pw) => self.accumulate_packed(pw, input, adc, &mut acc),
+                None => self.accumulate_dense(input, adc, scratch, &mut acc),
+            }
+        }
+        // Digital offset correction for the signed-weight encoding.
+        let offset = 1_i64 << (self.weight_bits - 1);
+        let correction = offset * input.input_sum();
+        for a in &mut acc {
+            *a -= correction;
+        }
+        acc
+    }
+
+    /// Batched MVM: one result row per input, each bit-identical to a
+    /// scalar [`Crossbar::mvm_scalar`] call on that input. Inputs share
+    /// one scratch, so the whole batch performs no per-call buffer
+    /// allocation beyond its result rows.
+    pub fn mvm_batch(&self, inputs: &[Vec<u8>], adc: &Adc) -> Vec<Vec<i64>> {
+        MVM_SCRATCH.with(|s| {
+            let scratch = &mut s.borrow_mut();
+            inputs
+                .iter()
+                .map(|input| self.mvm_with_scratch(input, adc, scratch))
+                .collect()
+        })
+    }
+
+    /// Integer fast path: per (cycle, plane, column), the bitline sum is
+    /// `cell_bits` popcounts of `wordline_mask & column_slice`. ADC
+    /// samples stay on `i64` — identical to rounding the equivalent exact
+    /// `f64` sum (all sums are far below 2⁵³). The inner loops walk each
+    /// plane's packed columns as one contiguous slice, with dedicated
+    /// single-word paths for crossbars of ≤ 64 used rows (the common
+    /// square-32/64 and 36×32…72×64 candidates).
+    fn accumulate_packed(
+        &self,
+        pw: &PackedWeights,
+        input: &PackedInput,
+        adc: &Adc,
+        acc: &mut [i64],
+    ) {
+        debug_assert_eq!(pw.words(), input.words());
+        let n_planes = self.planes.len();
+        let words = pw.words();
+        let cell_bits = self.cell_bits as usize;
+        for t in 0..8u32 {
+            if input.nonzero_planes() & (1 << t) == 0 {
+                continue;
+            }
+            let wordlines = input.plane(t as usize);
+            for b in 0..n_planes {
+                let shift = t + b as u32 * self.cell_bits;
+                let cols = pw.plane_cols(b);
+                if words == 1 {
+                    let wl = wordlines[0];
+                    if cell_bits == 1 {
+                        // SLC, ≤64 rows: one popcount per bitline.
+                        for (a, &m) in acc.iter_mut().zip(cols) {
+                            let sum = (wl & m).count_ones() as i64;
+                            *a += adc.sample_exact(sum) << shift;
+                        }
+                    } else {
+                        for (a, block) in acc.iter_mut().zip(cols.chunks_exact(cell_bits)) {
+                            let mut sum = 0_i64;
+                            for (lb, &m) in block.iter().enumerate() {
+                                sum += ((wl & m).count_ones() as i64) << lb;
+                            }
+                            *a += adc.sample_exact(sum) << shift;
+                        }
+                    }
+                } else {
+                    for (a, block) in acc.iter_mut().zip(cols.chunks_exact(cell_bits * words)) {
+                        let mut sum = 0_i64;
+                        for (lb, col) in block.chunks_exact(words).enumerate() {
+                            let ones: u32 = wordlines
+                                .iter()
+                                .zip(col)
+                                .map(|(&m, &c)| (m & c).count_ones())
+                                .sum();
+                            sum += (ones as i64) << lb;
+                        }
+                        *a += adc.sample_exact(sum) << shift;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `f64` fallback for non-integral (variation-noised) conductances:
+    /// still skips all-zero cycles and dead words via the packed input
+    /// masks, and accumulates active rows in ascending order so sums are
+    /// bit-identical to the scalar reference.
+    fn accumulate_dense(
+        &self,
+        input: &PackedInput,
+        adc: &Adc,
+        scratch: &mut XbarScratch,
+        acc: &mut [i64],
+    ) {
+        let cols = self.shape.cols as usize;
+        scratch.bitline.resize(self.cols_used, 0.0);
+        for t in 0..8u32 {
+            if input.nonzero_planes() & (1 << t) == 0 {
+                continue;
+            }
+            let wordlines = input.plane(t as usize);
+            for (b, plane) in self.planes.iter().enumerate() {
+                let bitline = &mut scratch.bitline[..];
+                bitline.iter_mut().for_each(|v| *v = 0.0);
+                kernels::for_each_set_bit(wordlines, |r| {
+                    let row = &plane[r * cols..r * cols + self.cols_used];
+                    for (v, &g) in bitline.iter_mut().zip(row) {
+                        *v += g;
+                    }
+                });
+                let shift = t + b as u32 * self.cell_bits;
+                for (a, &s) in acc.iter_mut().zip(bitline.iter()) {
+                    *a += adc.sample(s) << shift;
+                }
+            }
+        }
+    }
+
+    /// The retained scalar reference MVM (the pre-kernel-layer
+    /// implementation, kept verbatim): allocates per (cycle, plane) and
+    /// walks rows cell-by-cell. The fast paths are property-tested
+    /// bit-identical against it; use it only for verification.
+    pub fn mvm_scalar(&self, input: &[u8], adc: &Adc) -> Vec<i64> {
         assert_eq!(input.len(), self.rows_used, "input/row mismatch");
         let cols = self.shape.cols as usize;
         let mut acc = vec![0_i64; self.cols_used];

@@ -33,6 +33,7 @@ pub mod dac;
 pub mod energy;
 pub mod fault;
 pub mod geometry;
+pub mod kernels;
 pub mod latency;
 pub mod noise;
 pub mod program_cost;
@@ -44,4 +45,5 @@ pub use crossbar::Crossbar;
 pub use energy::LayerEnergy;
 pub use fault::{ComponentHealth, FaultMap, FaultRates};
 pub use geometry::XbarShape;
+pub use kernels::{PackedInput, PackedWeights, XbarScratch};
 pub use utilization::Footprint;

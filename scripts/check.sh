@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Smoke-run the kernel benches (with real criterion, --test runs each
+# closure once; the offline stub just times a short run) so bench-only
+# breakage fails the gate too.
+cargo bench -p autohet-bench --bench kernels -- --test >/dev/null
 cargo fmt --check
 # --all-targets lints tests, examples, and benches too, not just lib code.
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,159 @@
+//! Property-based contracts of the fast kernel layer (DESIGN.md §9):
+//! the bit-packed crossbar MVM must be **bit-identical** to the retained
+//! scalar reference for every shape / cell precision / ADC resolution /
+//! noise state, and the batched GEMM training path must leave seeded
+//! DDPG searches exactly reproducible.
+
+use autohet::prelude::*;
+use autohet_accel::controller::MappedLayer;
+use autohet_dnn::ops::synthetic_weights;
+use autohet_dnn::Layer;
+use autohet_rl::DdpgConfig;
+use autohet_xbar::noise::NoiseModel;
+use autohet_xbar::{Adc, CostParams, Crossbar, XbarShape};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A programmed crossbar of arbitrary geometry and cell precision, with
+/// an input vector matching its used rows. `cell_bits` ranges over every
+/// divisor of the 8-bit weights, including the multi-level cells the
+/// heterogeneous configurations use.
+fn arb_programmed() -> impl Strategy<Value = (Crossbar, Vec<u8>, u32)> {
+    (
+        1usize..=96,
+        1usize..=96,
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        // ADC resolutions from heavily saturating (2-bit) to exact.
+        2u32..=12,
+        any::<u64>(),
+    )
+        .prop_map(|(rows, cols, cell_bits, adc_bits, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let weights: Vec<Vec<i32>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(-127..=127)).collect())
+                .collect();
+            let shape = XbarShape::new(rows.next_power_of_two().max(4) as u32, cols as u32);
+            let xb = Crossbar::program_with_cells(shape, &weights, 8, cell_bits);
+            let input: Vec<u8> = (0..rows).map(|_| rng.gen()).collect();
+            (xb, input, adc_bits)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Fast packed path == scalar reference, bit for bit, on clean
+    // crossbars (saturating ADCs included).
+    #[test]
+    fn fast_mvm_matches_scalar_reference((xb, input, adc_bits) in arb_programmed()) {
+        prop_assert!(xb.is_bit_packed());
+        let adc = Adc::new(adc_bits);
+        prop_assert_eq!(xb.mvm(&input, &adc), xb.mvm_scalar(&input, &adc));
+    }
+
+    // Stuck-at faults keep integer conductance levels — the packed path
+    // must survive them and still agree with the scalar reference.
+    #[test]
+    fn fast_mvm_matches_scalar_under_stuck_at_faults(
+        (mut xb, input, adc_bits) in arb_programmed(),
+        fault_seed in any::<u64>(),
+    ) {
+        let model = NoiseModel { stuck_at_zero: 0.05, stuck_at_one: 0.05, ..NoiseModel::ideal() };
+        xb.apply_noise(&model, &mut SmallRng::seed_from_u64(fault_seed));
+        prop_assert!(xb.is_bit_packed(), "pure faults must keep the packed path");
+        let adc = Adc::new(adc_bits);
+        prop_assert_eq!(xb.mvm(&input, &adc), xb.mvm_scalar(&input, &adc));
+    }
+
+    // Analog conductance variation drops to the `f64` fallback — which
+    // must still agree with the scalar reference exactly.
+    #[test]
+    fn dense_fallback_matches_scalar_under_variation(
+        (mut xb, input, adc_bits) in arb_programmed(),
+        noise_seed in any::<u64>(),
+    ) {
+        xb.apply_noise(&NoiseModel::variation(0.1), &mut SmallRng::seed_from_u64(noise_seed));
+        prop_assert!(!xb.is_bit_packed(), "variation must drop the packed path");
+        let adc = Adc::new(adc_bits);
+        prop_assert_eq!(xb.mvm(&input, &adc), xb.mvm_scalar(&input, &adc));
+    }
+
+    // The batched entry point is exactly N independent MVMs.
+    #[test]
+    fn mvm_batch_is_n_scalar_mvms(
+        (xb, input, adc_bits) in arb_programmed(),
+        n in 1usize..=8,
+    ) {
+        let adc = Adc::new(adc_bits);
+        let inputs: Vec<Vec<u8>> = (0..n)
+            .map(|k| input.iter().map(|&v| v.rotate_left(k as u32)).collect())
+            .collect();
+        let batched = xb.mvm_batch(&inputs, &adc);
+        prop_assert_eq!(batched.len(), n);
+        for (out, x) in batched.iter().zip(&inputs) {
+            prop_assert_eq!(out, &xb.mvm_scalar(x, &adc));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // A mapped layer's batched (and parallel) MVM equals its per-input
+    // MVM — the controller splits/combines across the crossbar grid
+    // identically either way.
+    #[test]
+    fn mapped_layer_batch_matches_per_input(
+        cin in 1usize..=8,
+        cout in 1usize..=24,
+        seed in any::<u64>(),
+    ) {
+        let layer = Layer::conv(0, cin, cout, 3, 1, 1, 8);
+        let ml = MappedLayer::program(
+            &layer,
+            XbarShape::square(64),
+            &synthetic_weights(&layer, 0),
+            &CostParams::default(),
+        );
+        let adc = Adc::new(10);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<u8>> = (0..5)
+            .map(|_| (0..layer.weight_rows()).map(|_| rng.gen()).collect())
+            .collect();
+        let per_input: Vec<Vec<i64>> = inputs.iter().map(|x| ml.mvm(x, &adc)).collect();
+        prop_assert_eq!(ml.mvm_batch(&inputs, &adc), per_input.clone());
+        prop_assert_eq!(ml.mvm_batch_par(&inputs, &adc), per_input);
+    }
+}
+
+/// Two identical seeded RL searches must produce identical episode
+/// histories — the batched GEMM training path keeps every accumulation
+/// in fixed order, so DDPG updates are exactly reproducible.
+#[test]
+fn seeded_ddpg_search_is_bit_reproducible() {
+    let run = || {
+        let m = autohet_dnn::zoo::micro_cnn();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let cands = paper_hybrid_candidates();
+        let scfg = RlSearchConfig {
+            episodes: 40,
+            ddpg: DdpgConfig {
+                seed: 11,
+                hidden: 32,
+                batch: 16,
+                ..DdpgConfig::default()
+            },
+            train_steps: 2,
+            ..RlSearchConfig::default()
+        };
+        rl_search(&m, &cands, &cfg, &scfg)
+            .history
+            .iter()
+            .map(|e| (e.episode, e.rue.to_bits(), e.reward.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert_eq!(a.len(), 40);
+}
