@@ -25,6 +25,9 @@ use std::ops::Range;
 #[derive(Debug, Default)]
 struct LayerScratch {
     packed: PackedInput,
+    /// Per-batch-element packed slices for [`MappedLayer::mvm_batch`]'s
+    /// crossbar-outer walk (one pack per input, refilled per grid row).
+    packs: Vec<PackedInput>,
     xbar: XbarScratch,
 }
 
@@ -182,20 +185,26 @@ impl MappedLayer {
             // its chunk — no cross-crossbar partial sums.
             for (i, (rrange, crange)) in self.row_ranges.iter().zip(&self.col_ranges).enumerate() {
                 s.packed.pack(&input_q[rrange.clone()]);
-                let partial = self.grid[i][0].mvm_packed(&s.packed, adc, &mut s.xbar);
-                for (j, v) in partial.into_iter().enumerate() {
-                    out[crange.start + j] = v;
-                }
+                self.grid[i][0].mvm_packed_into(
+                    &s.packed,
+                    adc,
+                    &mut s.xbar,
+                    &mut out[crange.clone()],
+                );
             }
             return out;
         }
+        // Each crossbar accumulates directly into its output-column window
+        // (the adder tree) — no per-crossbar partial vector is allocated.
         for (ri, rrange) in self.row_ranges.iter().enumerate() {
             s.packed.pack(&input_q[rrange.clone()]);
             for (ci, crange) in self.col_ranges.iter().enumerate() {
-                let partial = self.grid[ri][ci].mvm_packed(&s.packed, adc, &mut s.xbar);
-                for (j, v) in partial.into_iter().enumerate() {
-                    out[crange.start + j] += v;
-                }
+                self.grid[ri][ci].mvm_packed_into(
+                    &s.packed,
+                    adc,
+                    &mut s.xbar,
+                    &mut out[crange.clone()],
+                );
             }
         }
         out
@@ -204,14 +213,59 @@ impl MappedLayer {
     /// Batched MVM: one output row per input vector, each bit-identical to
     /// a [`MappedLayer::mvm`] call on that input. The whole batch shares
     /// one scratch.
+    ///
+    /// The walk is crossbar-outer rather than input-outer: per grid row,
+    /// every input's slice is packed once, then each crossbar runs the
+    /// whole batch while its packed weight planes stay hot in cache —
+    /// at batch `B` each crossbar's weights are streamed once instead of
+    /// `B` times. Per-output accumulation order (grid rows ascending)
+    /// matches the single-input path, and the i64 adder tree is exact,
+    /// so outputs are bit-identical to `B` sequential [`MappedLayer::mvm`]
+    /// calls.
     pub fn mvm_batch(&self, inputs: &[Vec<u8>], adc: &Adc) -> Vec<Vec<i64>> {
-        LAYER_SCRATCH.with(|s| {
-            let s = &mut s.borrow_mut();
-            inputs
-                .iter()
-                .map(|x| self.mvm_with_scratch(x, adc, s))
-                .collect()
-        })
+        LAYER_SCRATCH.with(|s| self.mvm_batch_with_scratch(inputs, adc, &mut s.borrow_mut()))
+    }
+
+    fn mvm_batch_with_scratch(
+        &self,
+        inputs: &[Vec<u8>],
+        adc: &Adc,
+        s: &mut LayerScratch,
+    ) -> Vec<Vec<i64>> {
+        let rows = self.layer.weight_rows();
+        let mut out: Vec<Vec<i64>> = inputs
+            .iter()
+            .map(|x| {
+                assert_eq!(x.len(), rows);
+                vec![0_i64; self.layer.weight_cols()]
+            })
+            .collect();
+        if s.packs.len() < inputs.len() {
+            s.packs.resize_with(inputs.len(), PackedInput::default);
+        }
+        for (ri, rrange) in self.row_ranges.iter().enumerate() {
+            for (x, p) in inputs.iter().zip(&mut s.packs) {
+                p.pack(&x[rrange.clone()]);
+            }
+            if self.diagonal {
+                let crange = &self.col_ranges[ri];
+                for (o, p) in out.iter_mut().zip(&s.packs) {
+                    self.grid[ri][0].mvm_packed_into(p, adc, &mut s.xbar, &mut o[crange.clone()]);
+                }
+            } else {
+                for (ci, crange) in self.col_ranges.iter().enumerate() {
+                    for (o, p) in out.iter_mut().zip(&s.packs) {
+                        self.grid[ri][ci].mvm_packed_into(
+                            p,
+                            adc,
+                            &mut s.xbar,
+                            &mut o[crange.clone()],
+                        );
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Parallel batched MVM via [`crate::par::par_map`]: inputs are split

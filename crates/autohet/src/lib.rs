@@ -26,6 +26,9 @@
 //!   Eq. 2 reward over hardware feedback.
 //! - [`search`]: strategy search drivers — [`search::rl`] (the paper),
 //!   plus greedy / random / exhaustive comparators.
+//! - [`vec_env`]: lockstep vectorized environments behind
+//!   [`search::rl::rl_search_vec`] — N episodes share one batched actor
+//!   pass and fan evaluations out over the worker pool.
 //! - [`homogeneous`]: the five fixed-size baselines and Fig. 3's manual
 //!   heterogeneous configuration.
 //! - [`ablation`]: the §4.3 Base / +He / +Hy / All study.
@@ -51,6 +54,7 @@ pub mod search;
 pub mod sensitivity;
 pub mod studies;
 pub mod telemetry;
+pub mod vec_env;
 
 /// Everything a typical user needs.
 pub mod prelude {
@@ -76,13 +80,19 @@ pub mod prelude {
     };
     pub use crate::search::random::{random_search, random_search_with_engine};
     pub use crate::search::rl::{
-        rl_search, rl_search_multi_seed, rl_search_with_engine, EpisodeRecord, RlSearchConfig,
-        SearchOutcome, SearchTiming,
+        rl_search, rl_search_multi_seed, rl_search_vec, rl_search_vec_multi_seed,
+        rl_search_vec_with_engine, rl_search_vec_with_stats, rl_search_with_engine, EpisodeRecord,
+        RlSearchConfig, SearchOutcome, SearchTiming, VecSearchStats,
     };
     pub use crate::studies::{
-        fault_campaign, serving_study, FaultCampaignConfig, FaultCampaignReport, FaultCampaignRow,
+        fault_campaign, search_throughput_study, serving_study, FaultCampaignConfig,
+        FaultCampaignReport, FaultCampaignRow, ThroughputRow,
     };
-    pub use crate::telemetry::{episode_series, publish_episode_history, EPISODE_COLUMNS};
+    pub use crate::telemetry::{
+        episode_series, publish_episode_history, publish_vec_search, vec_occupancy_series,
+        EPISODE_COLUMNS,
+    };
+    pub use crate::vec_env::{VecEnv, VecEpisode};
     pub use autohet_accel::{
         evaluate, AccelConfig, DegradationMode, EngineStats, EvalEngine, EvalReport,
         FaultedEvalReport, RepairPolicy,

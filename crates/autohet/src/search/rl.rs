@@ -13,6 +13,7 @@
 //! ~97% of search time is simulator feedback (§4.5).
 
 use crate::env::AutoHetEnv;
+use crate::vec_env::VecEnv;
 use autohet_accel::{AccelConfig, EngineStats, EvalEngine, EvalReport};
 use autohet_dnn::Model;
 use autohet_rl::{Ddpg, DdpgConfig, Experience, OuNoise};
@@ -267,8 +268,12 @@ pub fn rl_search_with_engine(
         // ---- Learning stage (⑧ – ⑫).
         let ta = Instant::now();
         for k in 0..n {
+            // `states[k]` is consumed here (its other use — as the next
+            // state of tuple k−1 — already happened), so each state vector
+            // is cloned once, not twice: the episode buffer is moved into
+            // the pool and only the forward-looking `next_state` copies.
             agent.remember(Experience {
-                state: states[k].clone(),
+                state: std::mem::take(&mut states[k]),
                 next_state: states[k + 1].clone(),
                 action: actions[k],
                 reward,
@@ -296,10 +301,12 @@ pub fn rl_search_with_engine(
     }
 }
 
-/// Run one [`rl_search`] per seed on parallel workers sharing a single
-/// memoized engine; outcomes come back in seed order. Each worker's result
-/// is bit-identical to a standalone `rl_search` with that seed (the shared
-/// cache only changes speed, never values).
+/// Run one search per seed on parallel workers sharing a single memoized
+/// engine; outcomes come back in seed order. Each worker runs the batched
+/// act path ([`rl_search_vec_with_engine`] at one lane), which is proven
+/// bit-identical to the sequential driver — so every result matches a
+/// standalone `rl_search` with that seed (the shared cache only changes
+/// speed, never values).
 pub fn rl_search_multi_seed(
     model: &Model,
     candidates: &[XbarShape],
@@ -307,13 +314,265 @@ pub fn rl_search_multi_seed(
     scfg: &RlSearchConfig,
     seeds: &[u64],
 ) -> Vec<SearchOutcome> {
+    rl_search_vec_multi_seed(model, candidates, cfg, scfg, seeds, 1)
+}
+
+/// [`rl_search_multi_seed`] with `lanes` lockstep exploration environments
+/// per seed: each worker drives its own vectorized search, all workers
+/// share one memo table. At `lanes == 1` every outcome is bit-identical to
+/// a standalone [`rl_search`].
+pub fn rl_search_vec_multi_seed(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    seeds: &[u64],
+    lanes: usize,
+) -> Vec<SearchOutcome> {
     assert!(!seeds.is_empty());
     let engine = Arc::new(EvalEngine::new(model.clone(), *cfg));
     crate::par::par_map(seeds, |&seed| {
         let mut s = *scfg;
         s.ddpg.seed = seed;
-        rl_search_with_engine(model, candidates, cfg, &s, Arc::clone(&engine))
+        rl_search_vec_with_engine(model, candidates, cfg, &s, lanes, Arc::clone(&engine))
     })
+}
+
+/// Throughput counters from a vectorized search (see [`VecSearchStats`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VecSearchStats {
+    /// Lockstep lane count the driver was configured with.
+    pub lanes: usize,
+    /// Number of lockstep groups executed (`ceil(episodes / lanes)`).
+    pub groups: usize,
+    /// Episodes completed.
+    pub episodes: usize,
+    /// Completed episodes per wall-clock second.
+    pub episodes_per_sec: f64,
+    /// Per-group lane occupancy (`active / lanes`), a window series for
+    /// telemetry: every group but the last runs full.
+    pub group_occupancy: Vec<f64>,
+    /// Mean of `group_occupancy`.
+    pub mean_occupancy: f64,
+}
+
+/// Vectorized RL search: `lanes` lockstep exploration environments over
+/// one shared agent and engine. Deterministic for a fixed
+/// `(scfg.ddpg.seed, lanes)`; at `lanes == 1` bit-identical to
+/// [`rl_search`].
+pub fn rl_search_vec(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    lanes: usize,
+) -> SearchOutcome {
+    rl_search_vec_with_engine(
+        model,
+        candidates,
+        cfg,
+        scfg,
+        lanes,
+        Arc::new(EvalEngine::new(model.clone(), *cfg)),
+    )
+}
+
+/// [`rl_search_vec`] on an existing (possibly shared) evaluation engine.
+pub fn rl_search_vec_with_engine(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    lanes: usize,
+    engine: Arc<EvalEngine>,
+) -> SearchOutcome {
+    rl_search_vec_with_stats(model, candidates, cfg, scfg, lanes, engine).0
+}
+
+/// The full vectorized driver, also returning throughput counters.
+///
+/// Batching model (DESIGN.md §10): episodes advance in lockstep groups of
+/// up to `lanes`. Within a group, layer step `k` stacks all active lanes'
+/// states and issues **one** batched actor pass
+/// ([`Ddpg::act_noisy_batch`], a feature-major GEMM), drawing per-lane OU
+/// noise from the agent RNG in ascending lane order. End-of-group
+/// evaluations fan out over [`par_map`](crate::par::par_map) against the
+/// shared memoized engine. The learning stage then ingests every lane's
+/// transitions in lane order and performs `scfg.train_steps` minibatch
+/// updates **per group** — the standard vectorized-DDPG schedule
+/// (gradient steps per rollout round, not per episode), which is where
+/// the episodes/sec win comes from and which makes `lanes == 1` reduce
+/// exactly to the sequential driver.
+///
+/// N=1 bit-identity argument, piece by piece:
+/// - actions: `act_noisy_batch` over one lane performs the same forward
+///   and the same two RNG draws as `act_noisy`; warm-up groups draw from
+///   the same dedicated warm-up RNG in the same order;
+/// - noise schedule: each lane's OU process is re-seeded at group start
+///   from a master sigma schedule that replays the sequential
+///   `end_episode` decay exactly;
+/// - replay and training: transitions are pushed in (group, lane, step)
+///   order and the per-group `train_steps` equals the sequential
+///   per-episode count at one lane;
+/// - history/best: lanes are folded in ascending order, which is episode
+///   order at one lane.
+pub fn rl_search_vec_with_stats(
+    model: &Model,
+    candidates: &[XbarShape],
+    cfg: &AccelConfig,
+    scfg: &RlSearchConfig,
+    lanes: usize,
+    engine: Arc<EvalEngine>,
+) -> (SearchOutcome, VecSearchStats) {
+    let _span = autohet_obs::trace::span("search.rl_vec");
+    assert!(lanes >= 1, "need at least one lane");
+    assert!(scfg.episodes >= 1, "need at least one episode");
+    let t0 = Instant::now();
+    let stats0 = engine.stats();
+    let env = AutoHetEnv::with_shared_engine(model, candidates, *cfg, scfg.reward_weights, engine);
+    let n = env.num_layers();
+    let mut venv = VecEnv::new(&env, lanes);
+    let mut agent = Ddpg::new(DdpgConfig {
+        state_dim: 10,
+        ..scfg.ddpg
+    });
+    let warmup = scfg.warmup_episodes.min(scfg.episodes / 3);
+    let mut warmup_rng = SmallRng::seed_from_u64(scfg.ddpg.seed ^ 0x3A90);
+    let mut noises: Vec<OuNoise> = (0..lanes)
+        .map(|_| OuNoise::new(scfg.noise_sigma, scfg.noise_decay, scfg.noise_min))
+        .collect();
+    // Master sigma schedule: lane `l` of the group starting at `episode`
+    // runs episode index `episode + l`, whose sigma under the sequential
+    // driver is `cur_sigma` after that many decays.
+    let mut cur_sigma = scfg.noise_sigma;
+
+    let mut best: Option<(Vec<XbarShape>, EvalReport)> = None;
+    let mut best_reward = f64::NEG_INFINITY;
+    let mut history = Vec::with_capacity(scfg.episodes);
+    let mut timing = SearchTiming::default();
+    let mut group_occupancy = Vec::with_capacity(scfg.episodes.div_ceil(lanes));
+    // Scratch reused across groups.
+    let mut flat_states = Vec::with_capacity(lanes * 10);
+    let mut mus = Vec::with_capacity(lanes);
+    let mut acts = Vec::with_capacity(lanes);
+
+    let mut episode = 0;
+    while episode < scfg.episodes {
+        let _g_span = autohet_obs::trace::span("search.group");
+        let group_stats = env.engine().stats();
+        let active = lanes.min(scfg.episodes - episode);
+        // Lanes `0..warm_lanes` are still in warm-up (episode index below
+        // the warm-up horizon); since groups advance episodes contiguously
+        // the warm-up lanes always form a prefix.
+        let warm_lanes = warmup.saturating_sub(episode).min(active);
+
+        // ---- Decision stage: one batched actor pass per layer step.
+        let ta = Instant::now();
+        for noise in noises.iter_mut().take(active) {
+            noise.reset_with_sigma(cur_sigma);
+            cur_sigma = (cur_sigma * scfg.noise_decay).max(scfg.noise_min);
+        }
+        venv.begin(active);
+        for k in 0..n {
+            venv.observe_step(k, &mut flat_states);
+            if warm_lanes == 0 {
+                agent.act_noisy_batch(&flat_states, &mut noises[..active], &mut acts);
+            } else {
+                // Mixed group: actor lanes still share one batched pass,
+                // warm-up lanes draw uniform actions; RNG order (warm-up
+                // stream, then agent stream per actor lane ascending) is
+                // the sequential order at one lane.
+                acts.clear();
+                if warm_lanes < active {
+                    mus.clear();
+                    mus.extend_from_slice(
+                        agent.act_batch(&flat_states[warm_lanes * 10..], active - warm_lanes),
+                    );
+                }
+                for l in 0..active {
+                    let a = if l < warm_lanes {
+                        warmup_rng.gen::<f64>()
+                    } else {
+                        (mus[l - warm_lanes] + agent.noise_sample(&mut noises[l])).clamp(0.0, 1.0)
+                    };
+                    acts.push(a);
+                }
+            }
+            venv.apply_step(k, &acts);
+        }
+        timing.agent += ta.elapsed();
+
+        // ---- Hardware feedback: fan the group out over the worker pool.
+        let ts = Instant::now();
+        let episodes_done = venv.finish();
+        timing.simulator += ts.elapsed();
+
+        // One cache window per group: the decision stage never touches the
+        // engine, so at one lane this is the sequential per-episode window.
+        let hit = env.engine().stats().since(&group_stats).combined_hit_rate();
+
+        // ---- Learning stage: ingest lanes in order, then train per group.
+        let ta = Instant::now();
+        for (l, ep) in episodes_done.into_iter().enumerate() {
+            history.push(EpisodeRecord {
+                episode: episode + l,
+                rue: ep.report.rue(),
+                reward: ep.reward,
+                utilization: ep.report.utilization,
+                energy_nj: ep.report.energy_nj(),
+                cache_hit_rate: hit,
+            });
+            if ep.reward > best_reward {
+                best_reward = ep.reward;
+                best = Some((ep.strategy, ep.report));
+            }
+            let mut states = ep.states;
+            for k in 0..n {
+                agent.remember(Experience {
+                    state: std::mem::take(&mut states[k]),
+                    next_state: states[k + 1].clone(),
+                    action: ep.actions[k],
+                    reward: ep.reward,
+                    done: k + 1 == n,
+                });
+            }
+        }
+        for _ in 0..scfg.train_steps {
+            agent.train_step();
+        }
+        timing.agent += ta.elapsed();
+
+        group_occupancy.push(active as f64 / lanes as f64);
+        episode += active;
+    }
+
+    timing.total = t0.elapsed();
+    timing.cache = env.engine().stats().since(&stats0);
+    let groups = group_occupancy.len();
+    let mean_occupancy = group_occupancy.iter().sum::<f64>() / groups.max(1) as f64;
+    let secs = timing.total.as_secs_f64();
+    let stats = VecSearchStats {
+        lanes,
+        groups,
+        episodes: scfg.episodes,
+        episodes_per_sec: if secs > 0.0 {
+            scfg.episodes as f64 / secs
+        } else {
+            0.0
+        },
+        group_occupancy,
+        mean_occupancy,
+    };
+    let (best_strategy, best_report) = best.expect("episodes >= 1");
+    (
+        SearchOutcome {
+            best_strategy,
+            best_report,
+            history,
+            timing,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -468,6 +727,89 @@ mod tests {
         let ra: Vec<f64> = cold.history.iter().map(|h| h.rue).collect();
         let rb: Vec<f64> = warm.history.iter().map(|h| h.rue).collect();
         assert_eq!(ra, rb);
+    }
+
+    fn outcome_bits(o: &SearchOutcome) -> Vec<(usize, u64, u64, u64, u64, u64)> {
+        o.history
+            .iter()
+            .map(|h| {
+                (
+                    h.episode,
+                    h.rue.to_bits(),
+                    h.reward.to_bits(),
+                    h.utilization.to_bits(),
+                    h.energy_nj.to_bits(),
+                    h.cache_hit_rate.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vec_search_single_lane_is_bit_identical_to_sequential() {
+        // The tentpole's N=1 identity, across the warm-up boundary
+        // (warmup = min(60, 24/3) = 8 < 24 episodes).
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        for seed in [0, 7, 42] {
+            let seq = rl_search(&m, &cands, &cfg, &quick_cfg(seed, 24));
+            let vec1 = rl_search_vec(&m, &cands, &cfg, &quick_cfg(seed, 24), 1);
+            assert_eq!(outcome_bits(&seq), outcome_bits(&vec1), "seed {seed}");
+            assert_eq!(seq.best_strategy, vec1.best_strategy);
+            assert_eq!(seq.best_report, vec1.best_report);
+        }
+    }
+
+    #[test]
+    fn vec_search_multi_lane_is_seed_reproducible() {
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        let a = rl_search_vec(&m, &cands, &cfg, &quick_cfg(11, 25), 4);
+        let b = rl_search_vec(&m, &cands, &cfg, &quick_cfg(11, 25), 4);
+        assert_eq!(outcome_bits(&a), outcome_bits(&b));
+        assert_eq!(a.best_strategy, b.best_strategy);
+        assert_eq!(a.best_report, b.best_report);
+    }
+
+    #[test]
+    fn vec_search_stats_are_well_formed() {
+        // 25 episodes over 4 lanes: 7 groups, the last one quarter-full.
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        let engine = Arc::new(EvalEngine::new(m.clone(), cfg));
+        let (o, s) = rl_search_vec_with_stats(&m, &cands, &cfg, &quick_cfg(3, 25), 4, engine);
+        assert_eq!(o.history.len(), 25);
+        assert_eq!(
+            o.history.iter().map(|h| h.episode).collect::<Vec<_>>(),
+            (0..25).collect::<Vec<_>>()
+        );
+        assert_eq!(s.lanes, 4);
+        assert_eq!(s.episodes, 25);
+        assert_eq!(s.groups, 7);
+        assert_eq!(s.group_occupancy.len(), 7);
+        assert!(s.group_occupancy[..6].iter().all(|&o| o == 1.0));
+        assert_eq!(s.group_occupancy[6], 0.25);
+        assert!((s.mean_occupancy - 6.25 / 7.0).abs() < 1e-12);
+        assert!(s.episodes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn vec_search_multi_lane_still_finds_good_strategies() {
+        // Fewer gradient updates per episode must not break the search's
+        // headline claim on the micro model.
+        let m = zoo::micro_cnn();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let outcome = rl_search_vec(&m, &paper_hybrid_candidates(), &cfg, &quick_cfg(1, 60), 8);
+        let (_, homo) = best_homogeneous(&m, &AccelConfig::default());
+        assert!(
+            outcome.best_rue() >= homo.rue(),
+            "vec rl {} vs best homo {}",
+            outcome.best_rue(),
+            homo.rue()
+        );
     }
 
     #[test]

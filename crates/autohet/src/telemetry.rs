@@ -9,7 +9,7 @@
 //! them: a DDPG trace and an annealing trace land in the same CSV schema
 //! and can be overlaid directly.
 
-use crate::search::rl::{EpisodeRecord, SearchTiming};
+use crate::search::rl::{EpisodeRecord, SearchTiming, VecSearchStats};
 use autohet_obs::{Registry, Series};
 
 /// Column schema of [`episode_series`] (name, unit), kept in one place so
@@ -72,6 +72,44 @@ pub fn publish_episode_history(
     c("cache.layer_misses", timing.cache.layer_misses);
 }
 
+/// Column schema of [`vec_occupancy_series`] (name, unit).
+pub const VEC_GROUP_COLUMNS: [(&str, &str); 2] = [("group", ""), ("occupancy", "")];
+
+/// Per-group lane occupancy of a vectorized search as a window series
+/// (one row per lockstep group). Only the trailing group of a search can
+/// run below full occupancy, so a healthy trace is a flat line at 1.0
+/// with at most one lower final point.
+pub fn vec_occupancy_series(name: &str, stats: &VecSearchStats) -> Series {
+    let mut s = Series::new(name, &VEC_GROUP_COLUMNS);
+    for (g, &occ) in stats.group_occupancy.iter().enumerate() {
+        s.push(vec![g as f64, occ]);
+    }
+    s
+}
+
+/// Mirror a vectorized search's throughput counters into `registry`
+/// under `prefix`: episode/group counters, a lane gauge, and ×1000-scaled
+/// gauges for episodes/sec and mean occupancy (gauges are integers).
+/// Purely observational — publishing never feeds back into the search,
+/// preserving the bit-identity-when-enabled contract.
+pub fn publish_vec_search(stats: &VecSearchStats, registry: &Registry, prefix: &str) {
+    registry
+        .counter(&format!("{prefix}.episodes"))
+        .add(stats.episodes as u64);
+    registry
+        .counter(&format!("{prefix}.groups"))
+        .add(stats.groups as u64);
+    registry
+        .gauge(&format!("{prefix}.lanes"))
+        .set(stats.lanes as i64);
+    registry
+        .gauge(&format!("{prefix}.episodes_per_sec_x1000"))
+        .set((stats.episodes_per_sec * 1e3) as i64);
+    registry
+        .gauge(&format!("{prefix}.occupancy_x1000"))
+        .set((stats.mean_occupancy * 1e3) as i64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +151,41 @@ mod tests {
         assert_eq!(reg.gauge("search.ddpg.last_rue_x1e6").get(), 400_000);
         assert_eq!(reg.counter("search.ddpg.cache.strategy_hits").get(), 3);
         assert_eq!(reg.counter("search.ddpg.cache.layer_misses").get(), 7);
+    }
+
+    fn vec_stats() -> VecSearchStats {
+        VecSearchStats {
+            lanes: 4,
+            groups: 3,
+            episodes: 9,
+            episodes_per_sec: 123.456,
+            group_occupancy: vec![1.0, 1.0, 0.25],
+            mean_occupancy: 0.75,
+        }
+    }
+
+    #[test]
+    fn occupancy_series_has_one_row_per_group() {
+        let s = vec_occupancy_series("vec_groups", &vec_stats());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.columns.len(), VEC_GROUP_COLUMNS.len());
+        let csv = s.to_csv();
+        assert!(csv.starts_with("group,occupancy"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn publish_vec_search_mirrors_throughput() {
+        let reg = Registry::new();
+        publish_vec_search(&vec_stats(), &reg, "search.vec");
+        assert_eq!(reg.counter("search.vec.episodes").get(), 9);
+        assert_eq!(reg.counter("search.vec.groups").get(), 3);
+        assert_eq!(reg.gauge("search.vec.lanes").get(), 4);
+        assert_eq!(
+            reg.gauge("search.vec.episodes_per_sec_x1000").get(),
+            123_456
+        );
+        assert_eq!(reg.gauge("search.vec.occupancy_x1000").get(), 750);
     }
 
     #[test]

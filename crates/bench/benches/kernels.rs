@@ -72,6 +72,15 @@ fn bench_crossbar_mvm(c: &mut Criterion) {
     g.bench_function("batch16_108x64", |b| {
         b.iter(|| black_box(ml.mvm_batch(black_box(&inputs), &adc)))
     });
+    // The apples-to-apples comparator for the batched walk: the same 16
+    // inputs through 16 sequential single-input calls, materializing the
+    // same `Vec<Vec<i64>>` a batch consumer holds.
+    g.bench_function("seq16_108x64", |b| {
+        b.iter(|| {
+            let out: Vec<Vec<i64>> = black_box(&inputs).iter().map(|x| ml.mvm(x, &adc)).collect();
+            black_box(out)
+        })
+    });
     g.finish();
 }
 

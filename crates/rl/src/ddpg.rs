@@ -165,6 +165,37 @@ impl Ddpg {
         a.clamp(0.0, 1.0)
     }
 
+    /// Deterministic actions for a stacked batch of states (batch-major
+    /// `batch × state_dim`): one feature-major GEMM through the actor
+    /// instead of `batch` matvecs. Each output is bit-identical to a
+    /// per-state [`Ddpg::act`] call.
+    pub fn act_batch(&mut self, states: &[f64], batch: usize) -> &[f64] {
+        self.actor.forward_batch_infer(states, batch)
+    }
+
+    /// Exploratory actions for a stacked batch with one OU process per
+    /// lane: a single batched actor pass, then per-lane noise drawn from
+    /// the agent's RNG in ascending lane order — the fixed interleave
+    /// that keeps seeded vectorized searches reproducible. With one lane
+    /// the output is bit-identical to [`Ddpg::act_noisy`] (same forward
+    /// values, same two RNG draws).
+    pub fn act_noisy_batch(&mut self, states: &[f64], noises: &mut [OuNoise], out: &mut Vec<f64>) {
+        let b = noises.len();
+        self.actor.forward_batch_infer(states, b);
+        out.clear();
+        for (mu, n) in self.actor.last_output().iter().zip(noises.iter_mut()) {
+            out.push((mu + n.sample(&mut self.rng)).clamp(0.0, 1.0));
+        }
+    }
+
+    /// One OU draw from the agent's RNG — the same generator
+    /// [`Ddpg::act_noisy`] consumes. Vectorized drivers combine this
+    /// with [`Ddpg::act_batch`] when a lockstep group mixes warm-up and
+    /// actor-driven lanes but must keep the sequential draw order.
+    pub fn noise_sample(&mut self, noise: &mut OuNoise) -> f64 {
+        noise.sample(&mut self.rng)
+    }
+
     /// Store one transition.
     pub fn remember(&mut self, e: Experience) {
         self.replay.push(e);
@@ -369,6 +400,72 @@ mod tests {
             last = agent.train_step().unwrap().critic_loss;
         }
         assert!(last < first, "critic loss {first} → {last}");
+    }
+
+    #[test]
+    fn act_batch_matches_per_state_act() {
+        let mut a = Ddpg::new(DdpgConfig {
+            state_dim: 4,
+            seed: 11,
+            ..DdpgConfig::default()
+        });
+        let mut b = a.clone();
+        let states: Vec<Vec<f64>> = (0..7)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64).sin()).collect())
+            .collect();
+        let flat: Vec<f64> = states.iter().flatten().copied().collect();
+        let batched = a.act_batch(&flat, 7).to_vec();
+        for (s, &mu) in states.iter().zip(&batched) {
+            assert_eq!(b.act(s).to_bits(), mu.to_bits());
+        }
+    }
+
+    #[test]
+    fn act_noisy_batch_single_lane_matches_act_noisy() {
+        let mk = || {
+            Ddpg::new(DdpgConfig {
+                state_dim: 3,
+                seed: 5,
+                ..DdpgConfig::default()
+            })
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut na = [OuNoise::new(0.4, 0.97, 0.02)];
+        let mut nb = OuNoise::new(0.4, 0.97, 0.02);
+        let mut out = Vec::new();
+        for i in 0..25 {
+            let s = vec![i as f64 * 0.07, 0.5, -0.2];
+            a.act_noisy_batch(&s, &mut na, &mut out);
+            let exp = b.act_noisy(&s, &mut nb);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].to_bits(), exp.to_bits());
+        }
+    }
+
+    #[test]
+    fn act_noisy_batch_draws_noise_in_lane_order() {
+        // A two-lane batched call consumes the agent RNG exactly like
+        // per-lane draws in ascending order: mu from the batched actor
+        // pass plus one noise_sample per lane.
+        let mk = || {
+            Ddpg::new(DdpgConfig {
+                state_dim: 2,
+                seed: 9,
+                ..DdpgConfig::default()
+            })
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let noise = || OuNoise::new(0.3, 1.0, 0.0);
+        let mut na = [noise(), noise()];
+        let mut nb = [noise(), noise()];
+        let mut out = Vec::new();
+        let flat = [0.2, 0.8, -0.1, 0.4];
+        a.act_noisy_batch(&flat, &mut na, &mut out);
+        let mus = b.act_batch(&flat, 2).to_vec();
+        for (l, &mu) in mus.iter().enumerate() {
+            let exp = (mu + b.noise_sample(&mut nb[l])).clamp(0.0, 1.0);
+            assert_eq!(out[l].to_bits(), exp.to_bits());
+        }
     }
 
     #[test]

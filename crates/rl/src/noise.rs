@@ -51,6 +51,16 @@ impl OuNoise {
         self.state = 0.0;
         self.sigma = (self.sigma * self.decay).max(self.sigma_min);
     }
+
+    /// Reset the process state and set sigma explicitly. Vectorized
+    /// search drivers anneal every lane from one shared per-episode
+    /// schedule, so each lane's process is re-seeded at group start with
+    /// the sigma its episode index would have reached sequentially.
+    pub fn reset_with_sigma(&mut self, sigma: f64) {
+        assert!(sigma >= 0.0);
+        self.state = 0.0;
+        self.sigma = sigma;
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +94,22 @@ mod tests {
         let _ = n.sample(&mut rng);
         n.end_episode();
         assert_eq!(n.state, 0.0);
+    }
+
+    #[test]
+    fn reset_with_sigma_matches_sequential_decay() {
+        // Re-seeding a fresh process with the master schedule's sigma
+        // reproduces the sequential end_episode iteration bit-exactly.
+        let mut seq = OuNoise::new(0.7, 0.93, 0.05);
+        let mut cur = 0.7;
+        for _ in 0..20 {
+            let mut lane = OuNoise::new(0.7, 0.93, 0.05);
+            lane.reset_with_sigma(cur);
+            assert_eq!(lane.sigma.to_bits(), seq.sigma.to_bits());
+            assert_eq!(lane.state, 0.0);
+            cur = (cur * 0.93f64).max(0.05);
+            seq.end_episode();
+        }
     }
 
     #[test]

@@ -221,21 +221,37 @@ impl Crossbar {
         adc: &Adc,
         scratch: &mut XbarScratch,
     ) -> Vec<i64> {
-        assert_eq!(input.len(), self.rows_used, "input/row mismatch");
         let mut acc = vec![0_i64; self.cols_used];
+        self.mvm_packed_into(input, adc, scratch, &mut acc);
+        acc
+    }
+
+    /// [`Crossbar::mvm_packed`] accumulating into a caller-provided slice
+    /// (`+=` semantics — the adder tree). Grid walkers merge partial sums
+    /// straight into the layer's output columns instead of allocating one
+    /// partial vector per crossbar call. `acc.len()` must equal this
+    /// crossbar's used column count.
+    pub fn mvm_packed_into(
+        &self,
+        input: &PackedInput,
+        adc: &Adc,
+        scratch: &mut XbarScratch,
+        acc: &mut [i64],
+    ) {
+        assert_eq!(input.len(), self.rows_used, "input/row mismatch");
+        assert_eq!(acc.len(), self.cols_used, "acc/column mismatch");
         if input.nonzero_planes() != 0 {
             match &self.packed {
-                Some(pw) => self.accumulate_packed(pw, input, adc, &mut acc),
-                None => self.accumulate_dense(input, adc, scratch, &mut acc),
+                Some(pw) => self.accumulate_packed(pw, input, adc, acc),
+                None => self.accumulate_dense(input, adc, scratch, acc),
             }
         }
         // Digital offset correction for the signed-weight encoding.
         let offset = 1_i64 << (self.weight_bits - 1);
         let correction = offset * input.input_sum();
-        for a in &mut acc {
+        for a in acc {
             *a -= correction;
         }
-        acc
     }
 
     /// Batched MVM: one result row per input, each bit-identical to a

@@ -18,6 +18,8 @@
 //! | `metrics.jsonl`       | same snapshot as JSON Lines                     |
 //! | `search_episodes.csv` | per-episode telemetry for every search driver   |
 //! | `search_episodes.jsonl` | same rows as JSON Lines                       |
+//! | `vec_groups.csv`      | per-group lane occupancy of the vectorized DDPG |
+//! | `vec_groups.jsonl`    | same rows as JSON Lines                         |
 //! | `serving_windows.csv` | per-window serving telemetry                    |
 //! | `serving_windows.jsonl` | same rows as JSON Lines                       |
 
@@ -104,6 +106,26 @@ fn main() {
     );
     publish_episode_history(&ddpg.history, &ddpg.timing, registry, "search.ddpg");
     add_rows(0, &ddpg.history);
+
+    // --- Vectorized DDPG (lockstep batched driver, DESIGN.md §10) ------
+    let lanes = 4;
+    let (vec_ddpg, vec_stats) =
+        rl_search_vec_with_stats(&model, &cands, &cfg, &scfg, lanes, engine.clone());
+    println!(
+        "ddpg-vec{} best RUE {:.4}  {:.0} eps/s  occupancy {:.2}",
+        lanes,
+        vec_ddpg.best_rue(),
+        vec_stats.episodes_per_sec,
+        vec_stats.mean_occupancy
+    );
+    publish_episode_history(
+        &vec_ddpg.history,
+        &vec_ddpg.timing,
+        registry,
+        "search.ddpg_vec",
+    );
+    publish_vec_search(&vec_stats, registry, "search.ddpg_vec");
+    let vec_groups = vec_occupancy_series("vec_groups", &vec_stats);
 
     // --- DQN (discrete-action ablation) --------------------------------
     let dcfg = DqnSearchConfig {
@@ -202,6 +224,8 @@ fn main() {
     write("metrics.jsonl", registry.to_jsonl());
     write("search_episodes.csv", episodes_table.to_csv());
     write("search_episodes.jsonl", episodes_table.to_jsonl());
+    write("vec_groups.csv", vec_groups.to_csv());
+    write("vec_groups.jsonl", vec_groups.to_jsonl());
     write("serving_windows.csv", windows.to_csv());
     write("serving_windows.jsonl", windows.to_jsonl());
 }

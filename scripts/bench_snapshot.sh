@@ -1,30 +1,36 @@
 #!/usr/bin/env bash
-# Snapshot the kernel micro-benchmarks into BENCH_kernels.json.
+# Snapshot benchmark groups into BENCH_*.json files:
+#   kernels → BENCH_kernels.json   (substrate micro-benchmarks)
+#   search  → BENCH_search.json    (300-round end-to-end search drivers)
 #
-# The shared CI box is noisy (throttling plus neighbors), so the snapshot
-# runs the whole bench group REPS times and keeps the per-benchmark
-# MINIMUM — the run least perturbed by outside load. Compare snapshots
-# taken on the same machine only.
+# The shared CI box is noisy (throttling plus neighbors), so each snapshot
+# runs its whole bench group REPS times — sequential and vectorized search
+# runs interleave within every rep — and keeps the per-benchmark MINIMUM,
+# the run least perturbed by outside load. Compare snapshots taken on the
+# same machine only. The search snapshot derives episodes/sec and the
+# speed-up of every driver over the sequential baseline in its group.
 #
-# Usage: scripts/bench_snapshot.sh [reps]   (default 5)
+# Usage: scripts/bench_snapshot.sh [reps] [bench ...]   (default: 5, both)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPS="${1:-5}"
-OUT="BENCH_kernels.json"
-TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+shift || true
+if [ $# -eq 0 ]; then BENCHES=(kernels search); else BENCHES=("$@"); fi
 
-for i in $(seq 1 "$REPS"); do
-  echo "bench_snapshot: run $i/$REPS" >&2
-  cargo bench -p autohet-bench --bench kernels 2>/dev/null \
-    | grep -E '^bench .*: [0-9]+ ns/iter' >>"$TMP" || true
-done
-
-python3 - "$TMP" "$OUT" "$REPS" <<'PY'
+snapshot() {
+  local bench="$1" out="$2"
+  local tmp
+  tmp="$(mktemp)"
+  for i in $(seq 1 "$REPS"); do
+    echo "bench_snapshot[$bench]: run $i/$REPS" >&2
+    cargo bench -p autohet-bench --bench "$bench" 2>/dev/null \
+      | grep -E '^bench .*: [0-9]+ ns/iter' >>"$tmp" || true
+  done
+  python3 - "$tmp" "$out" "$REPS" "$bench" <<'PY'
 import json, re, subprocess, sys
 
-tmp, out, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+tmp, out, reps, bench = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
 best = {}
 order = []
 for line in open(tmp):
@@ -39,21 +45,52 @@ for line in open(tmp):
         best[name] = min(best[name], ns)
 
 if not best:
-    sys.exit("bench_snapshot: no benchmark output parsed")
+    sys.exit(f"bench_snapshot[{bench}]: no benchmark output parsed")
 
 rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip() or "unknown"
 
 snapshot = {
-    "bench": "kernels",
+    "bench": bench,
     "git_rev": rev,
     "reps": reps,
     "stat": "min_ns_per_iter",
     "results": {name: best[name] for name in order},
 }
+
+if bench == "search":
+    # Each search/<group>/<driver> bench runs a full 300-episode search;
+    # derive episodes/sec and each driver's speed-up over its group's
+    # sequential baseline.
+    EPISODES = 300
+    derived = {}
+    for name in order:
+        m = re.match(r"(search/[^/]+)/(.+)", name)
+        if not m:
+            continue
+        group, driver = m.groups()
+        ns = best[name]
+        row = {"ns_per_search": ns, "episodes_per_sec": round(EPISODES / (ns * 1e-9), 1)}
+        seq = best.get(f"{group}/seq")
+        if seq is not None:
+            row["speedup_vs_seq"] = round(seq / ns, 2)
+        derived.setdefault(group, {})[driver] = row
+    snapshot["episodes"] = EPISODES
+    snapshot["derived"] = derived
+
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
-print(f"bench_snapshot: wrote {out} ({len(best)} benchmarks, min of {reps} runs)")
+print(f"bench_snapshot[{bench}]: wrote {out} ({len(best)} benchmarks, min of {reps} runs)")
 PY
+  rm -f "$tmp"
+}
+
+for b in "${BENCHES[@]}"; do
+  case "$b" in
+    kernels) snapshot kernels BENCH_kernels.json ;;
+    search) snapshot search BENCH_search.json ;;
+    *) echo "bench_snapshot: unknown bench '$b' (kernels|search)" >&2; exit 1 ;;
+  esac
+done

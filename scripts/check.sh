@@ -6,10 +6,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-# Smoke-run the kernel benches (with real criterion, --test runs each
-# closure once; the offline stub just times a short run) so bench-only
-# breakage fails the gate too.
+# Smoke-run the kernel and end-to-end search benches (with real criterion,
+# --test runs each closure once; the offline stub just times a short run)
+# so bench-only breakage fails the gate too.
 cargo bench -p autohet-bench --bench kernels -- --test >/dev/null
+cargo bench -p autohet-bench --bench search -- --test >/dev/null
 cargo fmt --check
 # --all-targets lints tests, examples, and benches too, not just lib code.
 cargo clippy --workspace --all-targets -- -D warnings
@@ -21,6 +22,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p autohet-obs
 cargo run --release -p autohet --example obs_dump -- --smoke --out target/obs_smoke
 for f in trace.jsonl trace.collapsed metrics.txt metrics.jsonl \
          search_episodes.csv search_episodes.jsonl \
+         vec_groups.csv vec_groups.jsonl \
          serving_windows.csv serving_windows.jsonl; do
   [ -s "target/obs_smoke/$f" ] || { echo "missing obs artifact: $f" >&2; exit 1; }
 done
