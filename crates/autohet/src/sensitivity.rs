@@ -105,9 +105,13 @@ mod tests {
     use super::*;
     use autohet_rl::DdpgConfig;
 
+    // 40 episodes: at 25 the tiny budget leaves the PEs=16 point hostage
+    // to one lucky exploration draw (seed 23 lands at 0.83× best-homo);
+    // at 40 every probed seed clears 3× at all three tile widths, so the
+    // assertion tests the search, not the RNG stream.
     fn quick() -> RlSearchConfig {
         RlSearchConfig {
-            episodes: 25,
+            episodes: 40,
             ddpg: DdpgConfig {
                 seed: 23,
                 hidden: 32,

@@ -1,0 +1,113 @@
+//! Guard for the vendored serde stub (`vendor/serde`).
+//!
+//! The stub's `Serialize`/`Deserialize` derives are no-ops, which is
+//! only sound while two invariants hold:
+//!
+//! 1. the stub defines no trait surface (so any trait-bound use of
+//!    `serde::Serialize`/`Deserialize` is a compile error rather than a
+//!    silent no-op), and
+//! 2. no workspace code actually calls into serde machinery
+//!    (serializers, `serde_json`, `serde::ser`/`de` modules).
+//!
+//! Invariant 1 makes most misuse a *compile* error; this test closes
+//! the remaining gap by scanning the sources for both halves and
+//! failing loudly if either drifts. When `vendor/serde` is deleted
+//! (real serde restored), both checks pass trivially.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn stub_serde_defines_no_trait_surface() {
+    let stub = workspace_root().join("vendor/serde/src/lib.rs");
+    if !stub.exists() {
+        return; // real serde restored; nothing to guard
+    }
+    let src = fs::read_to_string(&stub).expect("stub source readable");
+    for forbidden in ["trait ", "impl ", "fn ", "struct ", "enum "] {
+        assert!(
+            !src.lines()
+                .filter(|l| !l.trim_start().starts_with("//"))
+                .any(|l| l.contains(forbidden)),
+            "vendor/serde grew an item (`{forbidden}…`): the stub must stay \
+             derive-re-export-only so trait-bound uses remain compile errors \
+             instead of silently hitting no-op derives (see vendor/README.md)"
+        );
+    }
+}
+
+#[test]
+fn workspace_never_exercises_serde_machinery() {
+    let root = workspace_root();
+    if !root.join("vendor/serde").exists() {
+        return; // real serde restored; trait use is fine again
+    }
+    let mut sources = Vec::new();
+    rust_sources(&root.join("crates"), &mut sources);
+    assert!(!sources.is_empty(), "no sources found under crates/");
+
+    // Call/bound sites that would silently rely on derive-generated
+    // impls. Plain `use serde::{Serialize, Deserialize}` + #[derive(..)]
+    // are allowed — that is the whole supported surface of the stub.
+    let forbidden = [
+        "serde_json",
+        ": serde::Serialize",
+        ": serde::Deserialize",
+        "dyn serde::",
+        "impl serde::",
+        "serde::Serializer",
+        "serde::Deserializer",
+        "serde::ser::",
+        "serde::de::",
+    ];
+
+    let mut offenders = Vec::new();
+    for path in &sources {
+        if path.ends_with("tests/serde_stub_guard.rs") {
+            continue; // the pattern list above would match itself
+        }
+        let src = fs::read_to_string(path).expect("source readable");
+        for (lineno, line) in src.lines().enumerate() {
+            let code = line.trim_start();
+            if code.starts_with("//") {
+                continue;
+            }
+            for pat in forbidden {
+                if code.contains(pat) {
+                    offenders.push(format!(
+                        "{}:{}: `{pat}`",
+                        path.strip_prefix(&root).unwrap_or(path).display(),
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "serde machinery used while the no-op vendor/serde stub is active — \
+         these sites would compile against real serde but are dead (or \
+         compile errors) against the stub:\n{}\nEither drop the usage or \
+         restore real serde (delete [patch.crates-io] in Cargo.toml, see \
+         vendor/README.md).",
+        offenders.join("\n")
+    );
+}

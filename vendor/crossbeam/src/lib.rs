@@ -1,0 +1,125 @@
+//! Offline stand-in for `crossbeam`: the workspace only uses
+//! `crossbeam::thread::scope` + `Scope::spawn`, which map directly onto
+//! `std::thread::scope` (stable since 1.63). The crossbeam API differs
+//! in two ways this shim preserves: the spawned closure receives a
+//! `&Scope` argument (for nested spawns), and `scope` returns a
+//! `Result` that is `Err` when a spawned child panicked. As in
+//! upstream crossbeam, a panic in the scope *body* itself is not
+//! converted to `Err` — children are joined first, then the body's
+//! panic resumes unwinding in the caller.
+//! See `vendor/README.md` for why this stub exists.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper over `std::thread::Scope` exposing crossbeam's
+    /// closure-takes-scope spawn signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    let sub = Scope { inner: inner_scope };
+                    f(&sub)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope all of whose spawned threads are joined
+    /// before this returns. `Err` carries a panic payload when an
+    /// unjoined child thread panicked (crossbeam semantics). A panic
+    /// in the scope body itself is re-raised after the children are
+    /// joined, exactly as upstream crossbeam does — it never becomes
+    /// an `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let mut body_panic: Option<Box<dyn Any + Send + 'static>> = None;
+        let scope_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&wrapper))) {
+                    Ok(r) => Some(r),
+                    Err(payload) => {
+                        // Hold the payload until every child has been
+                        // joined by the std scope, then resume below.
+                        body_panic = Some(payload);
+                        None
+                    }
+                }
+            })
+        }));
+        if let Some(payload) = body_panic {
+            std::panic::resume_unwind(payload);
+        }
+        match scope_result {
+            Ok(Some(r)) => Ok(r),
+            // `None` without a stored body panic is unreachable, but a
+            // stub should not panic in an impossible branch either.
+            Ok(None) => unreachable!("scope body result lost"),
+            Err(child_payload) => Err(child_payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let mut out = vec![0u32; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn body_panic_resumes_unwinding_not_err() {
+        // Upstream crossbeam re-raises a scope-body panic after joining
+        // children instead of folding it into the Err return.
+        let caught = std::panic::catch_unwind(|| {
+            let _ = super::thread::scope(|_s| -> u32 { panic!("body") });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn explicit_join_recovers_child_panic() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("child"));
+            h.join().is_err()
+        });
+        assert_eq!(r.ok(), Some(true));
+    }
+}

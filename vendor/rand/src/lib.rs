@@ -1,0 +1,331 @@
+//! Offline stand-in for `rand` 0.8 covering the surface this workspace
+//! uses: `SmallRng` (xoshiro256++ seeded via SplitMix64, matching the
+//! upstream `small_rng` feature on 64-bit targets), `Rng::gen` for the
+//! primitive types, and `Rng::gen_range` over integer and float ranges
+//! (Lemire widening-multiply rejection for integers, the `[1, 2)`
+//! mantissa trick for floats — the same algorithms rand 0.8 uses, so
+//! streams are stable and uniform).
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 32/64-bit outputs.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Sample a value of `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) range. The
+    /// output type is a free parameter (as in rand 0.8) so untyped
+    /// literals in the range adopt the expected type.
+    fn gen_range<T, RA: SampleRange<T>>(&mut self, range: RA) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+pub mod rngs {
+    pub use crate::small::SmallRng;
+}
+
+mod small {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — what `rand 0.8`'s `SmallRng` is on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as rand_core's seed_from_u64.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+/// The standard distribution for a primitive type.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! std_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+std_from_u32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! std_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_from_u64!(u64, i64, usize, isize);
+
+impl Standard for f64 {
+    /// 53 random mantissa bits scaled into `[0, 1)`.
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// 24 random mantissa bits scaled into `[0, 1)`.
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// A range a uniform sample of `T` can be drawn from.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-range sampler.
+pub trait SampleUniform: Sized {
+    fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Lemire widening-multiply rejection, bit-faithful to rand 0.8's
+/// `UniformInt::sample_single`: uniform in `[0, span)` drawing one u32;
+/// `span == 0` means the full 2^32 domain. `exact_zone` is true for
+/// types ≤ 16 bits (rand computes the exact rejection zone there).
+#[inline]
+fn uniform_u32<R: RngCore>(rng: &mut R, span: u32, exact_zone: bool) -> u32 {
+    if span == 0 {
+        return rng.next_u32();
+    }
+    let zone = if exact_zone {
+        let ints_to_reject = (u32::MAX - span + 1) % span;
+        u32::MAX - ints_to_reject
+    } else {
+        (span << span.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let wide = (v as u64) * (span as u64);
+        if (wide as u32) <= zone {
+            return (wide >> 32) as u32;
+        }
+    }
+}
+
+/// 64-bit variant of [`uniform_u32`]; `span == 0` means the full 2^64
+/// domain.
+#[inline]
+fn uniform_u64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let wide = (v as u128) * (span as u128);
+        if (wide as u64) <= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_uniform_32 {
+    ($($t:ty => $u:ty, $exact:expr);*$(;)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = hi.wrapping_sub(lo) as $u as u32;
+                lo.wrapping_add(uniform_u32(rng, span, $exact) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi.wrapping_sub(lo) as $u as u32).wrapping_add(1);
+                lo.wrapping_add(uniform_u32(rng, span, $exact) as $t)
+            }
+        }
+    )*};
+}
+int_uniform_32!(u8 => u8, true; u16 => u16, true; u32 => u32, false;
+                i8 => u8, true; i16 => u16, true; i32 => u32, false);
+
+macro_rules! int_uniform_64 {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi.wrapping_sub(lo) as $u as u64).wrapping_add(1);
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+int_uniform_64!(u64 => u64, usize => usize, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    /// rand 0.8's `UniformFloat`: a value in `[1, 2)` from 52 random
+    /// mantissa bits, shifted into the range.
+    #[inline]
+    fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        (value1_2 - 1.0) * (hi - lo) + lo
+    }
+    /// Inclusive variant: the scale is stretched by `1 / (1 - ε/2)` so
+    /// the maximum mantissa draw lands exactly on `hi` (as rand 0.8).
+    #[inline]
+    fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        let scale = (hi - lo) / (1.0 - f64::EPSILON / 2.0);
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        let res = (value1_2 - 1.0) * scale + lo;
+        if res <= hi {
+            res
+        } else {
+            hi
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+        (value1_2 - 1.0) * (hi - lo) + lo
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        let scale = (hi - lo) / (1.0 - f32::EPSILON / 2.0);
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+        let res = (value1_2 - 1.0) * scale + lo;
+        if res <= hi {
+            res
+        } else {
+            hi
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-127i32..=127);
+            assert!((-127..=127).contains(&w));
+            let f = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

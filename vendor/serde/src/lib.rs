@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde` 1.x — **serialization is disabled**.
+//!
+//! This stub re-exports no-op `Serialize`/`Deserialize` derive macros
+//! and nothing else. The workspace derives the serde traits on its
+//! public report/model types only for forward compatibility with
+//! downstream consumers; all persistence in this repo goes through its
+//! own hand-rolled writers (`autohet::persist`, `autohet-obs` JSONL/CSV
+//! exporters), so no serde trait machinery is ever exercised.
+//!
+//! Guard against silent misuse: this crate deliberately does **not**
+//! define the `Serialize`/`Deserialize` *traits*. Any code that adds a
+//! trait bound (`T: serde::Serialize`), calls a serializer, or pulls in
+//! `serde_json` fails to **compile** against this stub — the breakage
+//! is loud, never a silent behavior change. The workspace additionally
+//! pins this contract with a test (`tests/serde_stub_guard.rs` in
+//! `crates/autohet`) that fails if the stub ever grows a trait surface.
+//!
+//! To restore real serialization: delete the `[patch.crates-io]` block
+//! in the workspace `Cargo.toml` on a machine with crates.io access.
+//! See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

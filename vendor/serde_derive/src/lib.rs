@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive` — **the derives are no-ops**.
+//! They emit an empty `TokenStream`: no `Serialize`/`Deserialize`
+//! impls are generated and every `#[serde(...)]` attribute is
+//! swallowed. This is survivable only because the workspace never
+//! *uses* the serde traits (no bounds, no (de)serializer calls) — and
+//! the sibling `vendor/serde` stub does not even define the traits, so
+//! any such use is a compile error, not a silent behavior change.
+//! `crates/autohet/tests/serde_stub_guard.rs` pins both halves of that
+//! contract. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
