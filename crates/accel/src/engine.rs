@@ -24,6 +24,7 @@ use crate::alloc::{allocation_from_placements, placement_for, LayerPlacement};
 use crate::hierarchy::AccelConfig;
 use crate::metrics::{compose_report, layer_cost, EvalReport, LayerCost};
 use crate::repair::{repair_allocation, RepairPolicy, RepairReport};
+use crate::robustness::{layer_noise, LayerNoise, NoiseEvalConfig, RobustnessReport};
 use crate::tile_shared::apply_tile_sharing;
 use autohet_dnn::Model;
 use autohet_xbar::energy::static_power;
@@ -179,6 +180,27 @@ pub struct FaultedEvalReport {
     pub fidelity: f64,
 }
 
+/// Evaluation of a strategy under device variation: the ideal-device
+/// metrics plus the Monte-Carlo robustness scores. Produced by
+/// [`EvalEngine::evaluate_noisy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoisyEvalReport {
+    /// Ideal-device metrics (identical to [`EvalEngine::evaluate`]).
+    pub eval: EvalReport,
+    /// Accuracy-under-noise scores (see [`crate::robustness`]).
+    pub robustness: RobustnessReport,
+}
+
+/// Noise-evaluation state of an engine: the Monte-Carlo configuration
+/// plus its own per-(layer, shape) memo — noise slices are far more
+/// expensive than cost slices (they run the functional pipeline), and
+/// just as reusable.
+#[derive(Debug)]
+struct NoiseState {
+    cfg: NoiseEvalConfig,
+    memo: Mutex<HashMap<(usize, XbarShape), LayerNoise>>,
+}
+
 /// Memoized evaluator for one `(model, config)` pair.
 ///
 /// ```
@@ -206,6 +228,7 @@ pub struct EvalEngine {
     strategy_misses: AtomicU64,
     layer_hits: AtomicU64,
     layer_misses: AtomicU64,
+    noise: Option<NoiseState>,
 }
 
 impl EvalEngine {
@@ -234,7 +257,26 @@ impl EvalEngine {
             strategy_misses: AtomicU64::new(0),
             layer_hits: AtomicU64::new(0),
             layer_misses: AtomicU64::new(0),
+            noise: None,
         }
+    }
+
+    /// This engine with accuracy-under-noise evaluation enabled:
+    /// [`EvalEngine::evaluate_noisy`] becomes available, memoizing
+    /// Monte-Carlo noise slices per `(layer, shape)` the same way cost
+    /// slices are memoized.
+    pub fn with_noise(mut self, cfg: NoiseEvalConfig) -> Self {
+        self.noise = Some(NoiseState {
+            cfg,
+            memo: Mutex::new(HashMap::new()),
+        });
+        self
+    }
+
+    /// The noise-evaluation configuration, if enabled via
+    /// [`EvalEngine::with_noise`].
+    pub fn noise_config(&self) -> Option<&NoiseEvalConfig> {
+        self.noise.as_ref().map(|n| &n.cfg)
     }
 
     /// The model this engine evaluates.
@@ -286,6 +328,9 @@ impl EvalEngine {
         let mut s = self.strategies.lock();
         s.map.clear();
         s.order.clear();
+        if let Some(n) = &self.noise {
+            n.memo.lock().clear();
+        }
     }
 
     fn slice(&self, position: usize, shape: XbarShape) -> LayerSlice {
@@ -304,6 +349,48 @@ impl EvalEngine {
         };
         self.layers.lock().insert(key, s);
         s
+    }
+
+    /// Evaluate `strategy` under device variation: the ideal-device
+    /// report (strategy-cached as usual) plus Monte-Carlo robustness
+    /// scores from the functional pipeline (see [`crate::robustness`]).
+    /// Noise slices are memoized per `(layer, shape)` and seeded
+    /// per-pair, so results are deterministic and independent of
+    /// evaluation order.
+    ///
+    /// Panics unless the engine was built with
+    /// [`EvalEngine::with_noise`].
+    pub fn evaluate_noisy(&self, strategy: &[XbarShape]) -> NoisyEvalReport {
+        let _span = autohet_obs::trace::span("engine.evaluate_noisy");
+        let state = self
+            .noise
+            .as_ref()
+            .expect("noise evaluation requires EvalEngine::with_noise");
+        let eval = self.evaluate(strategy);
+        let per_layer: Vec<LayerNoise> = strategy
+            .iter()
+            .enumerate()
+            .map(|(position, &shape)| self.noise_slice(state, position, shape))
+            .collect();
+        NoisyEvalReport {
+            eval,
+            robustness: RobustnessReport::aggregate(per_layer),
+        }
+    }
+
+    fn noise_slice(&self, state: &NoiseState, position: usize, shape: XbarShape) -> LayerNoise {
+        let key = (position, shape);
+        if let Some(n) = state.memo.lock().get(&key) {
+            return *n;
+        }
+        let n = layer_noise(
+            &self.model.layers[position],
+            shape,
+            &self.cfg.cost,
+            &state.cfg,
+        );
+        state.memo.lock().insert(key, n);
+        n
     }
 
     /// Evaluate `strategy` on *faulted* hardware: build the allocation
@@ -410,6 +497,10 @@ impl Clone for EvalEngine {
             strategy_misses: AtomicU64::new(self.strategy_misses.load(Ordering::Relaxed)),
             layer_hits: AtomicU64::new(self.layer_hits.load(Ordering::Relaxed)),
             layer_misses: AtomicU64::new(self.layer_misses.load(Ordering::Relaxed)),
+            noise: self.noise.as_ref().map(|n| NoiseState {
+                cfg: n.cfg,
+                memo: Mutex::new(n.memo.lock().clone()),
+            }),
         }
     }
 }
@@ -611,6 +702,55 @@ mod tests {
         assert!(faulted.eval.area_um2 > healthy.area_um2);
         // Idle spares do not leak.
         assert_eq!(faulted.eval.energy_nj(), healthy.energy_nj());
+    }
+
+    #[test]
+    fn noisy_evaluation_is_deterministic_and_memoized() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default())
+            .with_noise(NoiseEvalConfig::default());
+        let s = rotating_strategy(&m, 0);
+        let a = engine.evaluate_noisy(&s);
+        let b = engine.evaluate_noisy(&s);
+        assert_eq!(a, b);
+        // Ideal-device metrics are untouched by the noise path.
+        assert_eq!(a.eval, evaluate(&m, &s, &AccelConfig::default()));
+        assert_eq!(a.robustness.per_layer.len(), m.layers.len());
+        assert!(a.robustness.mean_dev > 0.0);
+        assert!(a.robustness.accuracy_proxy <= 1.0);
+        // Memoized slices survive a clone and evaluation-order changes.
+        let fork = engine.clone();
+        assert_eq!(fork.evaluate_noisy(&s), a);
+        let other = rotating_strategy(&m, 1);
+        let engine2 = EvalEngine::new(m.clone(), AccelConfig::default())
+            .with_noise(NoiseEvalConfig::default());
+        engine2.evaluate_noisy(&other);
+        assert_eq!(
+            engine2.evaluate_noisy(&s),
+            a,
+            "order-dependent noise scores"
+        );
+    }
+
+    #[test]
+    fn exact_variation_gives_perfect_robustness() {
+        let m = zoo::micro_cnn();
+        let cfg = NoiseEvalConfig {
+            variation: autohet_xbar::VariationModel::ideal(),
+            ..NoiseEvalConfig::default()
+        };
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default()).with_noise(cfg);
+        let r = engine.evaluate_noisy(&rotating_strategy(&m, 0));
+        assert_eq!(r.robustness.mean_dev, 0.0);
+        assert_eq!(r.robustness.accuracy_proxy, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn noisy_evaluation_requires_with_noise() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default());
+        let _ = engine.evaluate_noisy(&rotating_strategy(&m, 0));
     }
 
     #[test]

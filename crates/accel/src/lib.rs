@@ -24,6 +24,9 @@
 //! - [`repair`]: repair-aware remapping of an allocation onto faulted
 //!   hardware (spares → remap → documented degradation), consumed by
 //!   [`engine::EvalEngine::evaluate_faulted`].
+//! - [`robustness`]: the accuracy-under-noise oracle — Monte-Carlo
+//!   device-variation scoring per (layer, shape), surfaced through
+//!   [`engine::EvalEngine::evaluate_noisy`].
 
 pub mod alloc;
 pub mod controller;
@@ -35,11 +38,12 @@ pub mod noc;
 pub mod par;
 pub mod pipeline;
 pub mod repair;
+pub mod robustness;
 pub mod tile_shared;
 
 pub use alloc::{allocate_tile_based, allocation_from_placements, Allocation, LayerPlacement};
 pub use controller::{MappedLayer, MappedModel};
-pub use engine::{EngineStats, EvalEngine, FaultedEvalReport};
+pub use engine::{EngineStats, EvalEngine, FaultedEvalReport, NoisyEvalReport};
 pub use hierarchy::{AccelConfig, Tile};
 pub use metrics::{evaluate, EvalReport, LayerCost, LayerReport};
 pub use par::par_map;
@@ -47,4 +51,5 @@ pub use pipeline::{
     balance_replication, pipeline_report, replicated_stages, PipelineReport, ReplicationPlan,
 };
 pub use repair::{repair_allocation, DegradationMode, LayerDamage, RepairPolicy, RepairReport};
+pub use robustness::{layer_noise, LayerNoise, NoiseEvalConfig, RobustnessReport};
 pub use tile_shared::apply_tile_sharing;

@@ -37,6 +37,9 @@
 //! - [`par`]: the scoped-thread fan-out behind the parallel sweep
 //!   drivers; every search reuses one memoized
 //!   [`EvalEngine`](autohet_accel::EvalEngine).
+//! - [`robust`]: NSGA-II multi-objective search producing energy ×
+//!   latency × noise-robustness Pareto fronts over the device-variation
+//!   oracle (DESIGN.md §11).
 //! - [`studies`]: beyond-paper ablations, including
 //!   [`studies::serving_study`] — searched strategies behind the
 //!   `autohet-serve` multi-tenant queueing simulator.
@@ -50,6 +53,7 @@ pub mod multi_model;
 pub mod par;
 pub mod pareto;
 pub mod persist;
+pub mod robust;
 pub mod search;
 pub mod sensitivity;
 pub mod studies;
@@ -65,6 +69,10 @@ pub mod prelude {
         homogeneous_reports_with_engine, manual_hetero_vgg16,
     };
     pub use crate::par::par_map;
+    pub use crate::robust::{
+        nsga_search, nsga_search_with_engine, GenerationStat, NsgaConfig, RobustPoint,
+        RobustSearchOutcome,
+    };
     pub use crate::search::annealing::{
         annealing_search, annealing_search_with_engine, AnnealingConfig, AnnealingOutcome,
     };
@@ -85,17 +93,18 @@ pub mod prelude {
         RlSearchConfig, SearchOutcome, SearchTiming, VecSearchStats,
     };
     pub use crate::studies::{
-        fault_campaign, search_throughput_study, serving_study, FaultCampaignConfig,
-        FaultCampaignReport, FaultCampaignRow, ThroughputRow,
+        fault_campaign, robustness_study, search_throughput_study, serving_study,
+        FaultCampaignConfig, FaultCampaignReport, FaultCampaignRow, RobustnessStudyConfig,
+        RobustnessStudyReport, RobustnessStudyRow, ThroughputRow,
     };
     pub use crate::telemetry::{
-        episode_series, publish_episode_history, publish_vec_search, vec_occupancy_series,
-        EPISODE_COLUMNS,
+        episode_series, front_series, publish_episode_history, publish_robust_search,
+        publish_vec_search, vec_occupancy_series, EPISODE_COLUMNS, FRONT_COLUMNS,
     };
     pub use crate::vec_env::{VecEnv, VecEpisode};
     pub use autohet_accel::{
         evaluate, AccelConfig, DegradationMode, EngineStats, EvalEngine, EvalReport,
-        FaultedEvalReport, RepairPolicy,
+        FaultedEvalReport, NoiseEvalConfig, NoisyEvalReport, RepairPolicy, RobustnessReport,
     };
     pub use autohet_serve::{
         run_serving, run_serving_parallel, BurstSpec, Deployment, FailureSpec, LatencyHistogram,
@@ -106,7 +115,7 @@ pub mod prelude {
         all_candidates, mixed_candidates, paper_hybrid_candidates, RECT_CANDIDATES,
         SQUARE_CANDIDATES,
     };
-    pub use autohet_xbar::XbarShape;
+    pub use autohet_xbar::{VariationModel, XbarShape};
 }
 
 pub use prelude::*;

@@ -54,26 +54,118 @@ pub fn pareto_sweep(
     })
 }
 
+/// Pareto dominance over minimization objective vectors: `a` dominates
+/// `b` when it is no worse on every axis and strictly better on at least
+/// one. The shared primitive behind the 2-objective
+/// [`pareto_front`] and the M-objective NSGA-II machinery
+/// ([`non_dominated_sort`], [`crate::robust`]).
+pub fn dominates_min(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        strictly |= x < y;
+    }
+    strictly
+}
+
+/// Fast non-dominated sorting (Deb et al., NSGA-II): partition point
+/// indices into fronts — front 0 is the Pareto-optimal set, front `k+1`
+/// is Pareto-optimal once fronts `0..=k` are removed. Objectives are all
+/// minimized; `O(n²·M)` comparisons. Within a front, indices stay in
+/// input order (deterministic).
+pub fn non_dominated_sort(objectives: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    // dominated_by[i] = points i dominates; dom_count[i] = #points
+    // dominating i.
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dom_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates_min(&objectives[i], &objectives[j]) {
+                dominated_by[i].push(j);
+                dom_count[j] += 1;
+            } else if dominates_min(&objectives[j], &objectives[i]) {
+                dominated_by[j].push(i);
+                dom_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dom_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                dom_count[j] -= 1;
+                if dom_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance of each member of `front` (parallel to
+/// `front`'s order): for every objective the front is sorted and each
+/// member accumulates its neighbors' normalized gap; boundary members get
+/// `+∞` so extremes are always preferred at equal rank.
+pub fn crowding_distances(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let n = front.len();
+    let mut dist = vec![0.0f64; n];
+    if n == 0 {
+        return dist;
+    }
+    let m = objectives[front[0]].len();
+    #[allow(clippy::needless_range_loop)] // `obj` indexes several inner vectors
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][obj]
+                .partial_cmp(&objectives[front[b]][obj])
+                .unwrap()
+                .then(front[a].cmp(&front[b]))
+        });
+        let lo = objectives[front[order[0]]][obj];
+        let hi = objectives[front[order[n - 1]]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..n.saturating_sub(1) {
+            let below = objectives[front[order[w - 1]]][obj];
+            let above = objectives[front[order[w + 1]]][obj];
+            dist[order[w]] += (above - below) / span;
+        }
+    }
+    dist
+}
+
 /// Indices of the non-dominated points (maximize utilization, minimize
 /// energy). A point dominates another when it is no worse on both axes
 /// and strictly better on one.
 pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
-    let mut front = Vec::new();
-    'outer: for (i, p) in points.iter().enumerate() {
-        let (ui, ei) = p.objectives();
-        for (j, q) in points.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            let (uj, ej) = q.objectives();
-            let dominates = uj >= ui && ej <= ei && (uj > ui || ej < ei);
-            if dominates {
-                continue 'outer;
-            }
-        }
-        front.push(i);
-    }
-    front
+    let objectives: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            let (u, e) = p.objectives();
+            vec![-u, e] // maximize utilization → minimize its negation
+        })
+        .collect();
+    (0..points.len())
+        .filter(|&i| {
+            objectives
+                .iter()
+                .all(|other| !dominates_min(other, &objectives[i]))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,6 +251,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates_min(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(dominates_min(&[0.5, 2.0, 7.0], &[1.0, 3.0, 7.0]));
+        assert!(!dominates_min(&[1.0, 2.0], &[1.0, 2.0])); // equal
+        assert!(!dominates_min(&[0.0, 5.0], &[1.0, 2.0])); // trade-off
+        assert!(!dominates_min(&[2.0, 2.0], &[1.0, 3.0]));
+    }
+
+    #[test]
+    fn non_dominated_sort_layers_points() {
+        // Front 0: (0,3), (1,1), (3,0); front 1: (2,2), (4,1); front 2: (5,5).
+        let objs = vec![
+            vec![0.0, 3.0],
+            vec![2.0, 2.0],
+            vec![1.0, 1.0],
+            vec![5.0, 5.0],
+            vec![3.0, 0.0],
+            vec![4.0, 1.0],
+        ];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts, vec![vec![0, 2, 4], vec![1, 5], vec![3]]);
+        // Every point appears exactly once.
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, objs.len());
+        // No member of a front is dominated by another member.
+        for front in &fronts {
+            for &i in front {
+                for &j in front {
+                    assert!(!dominates_min(&objs[j], &objs[i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_prefers_boundary_and_spread() {
+        let objs = vec![
+            vec![0.0, 4.0],
+            vec![1.0, 2.0],
+            vec![1.5, 1.5],
+            vec![4.0, 0.0],
+        ];
+        let front = vec![0, 1, 2, 3];
+        let d = crowding_distances(&objs, &front);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[2].is_finite());
+        // Point 2 borders the wide gap to the (4,0) extreme on both axes
+        // (neighbor spans 0.75 + 0.5), point 1 is wedged between 0 and 2
+        // (0.375 + 0.625): the emptier neighborhood scores higher.
+        assert!((d[1] - 1.0).abs() < 1e-12, "{}", d[1]);
+        assert!((d[2] - 1.25).abs() < 1e-12, "{}", d[2]);
+        // Degenerate fronts stay well-defined.
+        assert_eq!(crowding_distances(&objs, &[]), Vec::<f64>::new());
+        let same = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let d = crowding_distances(&same, &[0, 1]);
+        assert!(d.iter().all(|v| v.is_infinite()));
     }
 
     #[test]

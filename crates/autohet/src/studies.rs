@@ -29,13 +29,22 @@
 //!   this study scales the vectorized driver's lane count and reports
 //!   episodes/sec, speed-up over the sequential driver, and the best RUE
 //!   each batching level reaches (DESIGN.md §10).
+//! - [`robustness_study`]: the paper scores mappings on ideal devices;
+//!   this study prices lognormal device variation into the objective,
+//!   compares every homogeneous baseline and the noise-blind greedy
+//!   AutoHet mapping against the NSGA-II robustness front
+//!   ([`crate::robust`]), and reports whether the noise-robust pick
+//!   differs from the noise-blind winner (DESIGN.md §11).
 
 use crate::homogeneous::best_homogeneous;
 use crate::par::par_map;
-use crate::search::greedy::greedy_layerwise_rue;
+use crate::robust::{nsga_search_with_engine, GenerationStat, NsgaConfig};
+use crate::search::greedy::{greedy_layerwise_rue, greedy_layerwise_rue_with_engine};
 use autohet_accel::alloc::allocate_tile_based;
 use autohet_accel::tile_shared::{apply_tile_sharing, share_across_models};
-use autohet_accel::{evaluate, AccelConfig, EvalEngine, RepairPolicy};
+use autohet_accel::{
+    evaluate, AccelConfig, EvalEngine, NoiseEvalConfig, NoisyEvalReport, RepairPolicy,
+};
 use autohet_dnn::{LayerKind, Model};
 use autohet_serve::{run_serving, Deployment, FailureSpec, ServeConfig, TenantSpec, Workload};
 use autohet_xbar::fault::FaultRates;
@@ -520,6 +529,176 @@ pub fn search_throughput_study(
     rows
 }
 
+/// Parameters of a [`robustness_study`] run. Everything — baseline
+/// scoring, the NSGA-II trajectory, the Monte-Carlo noise draws —
+/// derives from the seeds inside, so a study is a pure function of this
+/// struct and the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessStudyConfig {
+    /// Accelerator configuration shared by every row.
+    pub accel: AccelConfig,
+    /// NSGA-II driver parameters.
+    pub nsga: NsgaConfig,
+    /// Device-variation oracle parameters (model, draws, probes, seed).
+    pub noise: NoiseEvalConfig,
+}
+
+/// One scored mapping of the robustness study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessStudyRow {
+    /// `"homogeneous/<rows>x<cols>"`, `"autohet/greedy"`, or
+    /// `"nsga/front-<i>"`.
+    pub label: String,
+    /// Per-layer crossbar shapes.
+    pub strategy: Vec<XbarShape>,
+    /// Ideal-device inference energy [nJ].
+    pub energy_nj: f64,
+    /// Ideal-device inference latency [ns].
+    pub latency_ns: f64,
+    /// Mean normalized output deviation under device variation.
+    pub noise_dev: f64,
+    /// Classification-accuracy proxy under variation (1.0 = never flips).
+    pub accuracy_proxy: f64,
+    /// The paper's scalar RUE.
+    pub rue: f64,
+}
+
+/// Outcome of a [`robustness_study`] on one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessStudyReport {
+    /// Model studied.
+    pub model: String,
+    /// Study parameters.
+    pub config: RobustnessStudyConfig,
+    /// Homogeneous baselines, the greedy AutoHet mapping, then the
+    /// NSGA-II front in ascending-energy order.
+    pub rows: Vec<RobustnessStudyRow>,
+    /// NSGA-II per-generation trajectory (generation 0 = seeded).
+    pub generations: Vec<GenerationStat>,
+    /// Strategy evaluations the NSGA-II search performed.
+    pub nsga_evaluations: u64,
+    /// Label of the noise-blind winner (highest RUE across all rows —
+    /// what the paper's scalar objective would deploy).
+    pub noise_blind_label: String,
+    /// Label of the noise-robust pick (lowest noise deviation, ties to
+    /// the higher RUE).
+    pub robust_label: String,
+    /// Whether the two picks deploy *different* strategies — the study's
+    /// headline: ideal-device search chooses noise-fragile hardware.
+    pub picks_differ: bool,
+}
+
+impl RobustnessStudyReport {
+    /// The row carrying `label`, if present.
+    pub fn row(&self, label: &str) -> Option<&RobustnessStudyRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// The noise-blind winner's row.
+    pub fn noise_blind(&self) -> &RobustnessStudyRow {
+        self.row(&self.noise_blind_label).expect("pick row exists")
+    }
+
+    /// The noise-robust pick's row.
+    pub fn robust(&self) -> &RobustnessStudyRow {
+        self.row(&self.robust_label).expect("pick row exists")
+    }
+}
+
+fn robustness_row(
+    label: String,
+    strategy: Vec<XbarShape>,
+    r: &NoisyEvalReport,
+) -> RobustnessStudyRow {
+    RobustnessStudyRow {
+        label,
+        energy_nj: r.eval.energy_nj(),
+        latency_ns: r.eval.latency_ns,
+        noise_dev: r.robustness.mean_dev,
+        accuracy_proxy: r.robustness.accuracy_proxy,
+        rue: r.eval.rue(),
+        strategy,
+    }
+}
+
+/// Score every homogeneous [`paper_hybrid_candidates`] baseline and the
+/// noise-blind greedy AutoHet mapping under the device-variation oracle,
+/// run the NSGA-II robustness search ([`crate::robust`]) on the same
+/// shared noisy engine, and compare the noise-blind winner (highest RUE
+/// anywhere) with the noise-robust pick (lowest noise deviation).
+///
+/// All rows share one memoized [`EvalEngine`], so each `(layer, shape)`
+/// noise slice is Monte-Carlo'd exactly once; results are nevertheless
+/// bit-identical to independent evaluations (the cache is transparent).
+pub fn robustness_study(model: &Model, cfg: &RobustnessStudyConfig) -> RobustnessStudyReport {
+    let _span = autohet_obs::trace::span("study.robustness");
+    let candidates = paper_hybrid_candidates();
+    let engine = Arc::new(EvalEngine::new(model.clone(), cfg.accel).with_noise(cfg.noise));
+
+    let mut rows: Vec<RobustnessStudyRow> = par_map(&candidates, |&shape| {
+        let strategy = vec![shape; model.layers.len()];
+        let r = engine.evaluate_noisy(&strategy);
+        robustness_row(
+            format!("homogeneous/{}x{}", shape.rows, shape.cols),
+            strategy,
+            &r,
+        )
+    });
+    let greedy = greedy_layerwise_rue_with_engine(&engine, &candidates).strategy;
+    let r = engine.evaluate_noisy(&greedy);
+    rows.push(robustness_row("autohet/greedy".into(), greedy, &r));
+
+    let outcome = nsga_search_with_engine(&candidates, &cfg.nsga, Arc::clone(&engine));
+    rows.extend(
+        outcome
+            .front
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RobustnessStudyRow {
+                label: format!("nsga/front-{i}"),
+                strategy: p.strategy.clone(),
+                energy_nj: p.energy_nj,
+                latency_ns: p.latency_ns,
+                noise_dev: p.noise_dev,
+                accuracy_proxy: p.accuracy_proxy,
+                rue: p.rue,
+            }),
+    );
+
+    // The noise-blind winner is what the paper's scalar search deploys:
+    // best RUE, variation never consulted. The robust pick minimizes the
+    // noise axis (ties to the higher RUE). First match wins each tie, so
+    // baseline labels are preferred over duplicated front points.
+    let blind = rows
+        .iter()
+        .reduce(|best, r| if r.rue > best.rue { r } else { best })
+        .expect("study has rows");
+    let robust = rows
+        .iter()
+        .reduce(|best, r| {
+            let better =
+                r.noise_dev < best.noise_dev || (r.noise_dev == best.noise_dev && r.rue > best.rue);
+            if better {
+                r
+            } else {
+                best
+            }
+        })
+        .expect("study has rows");
+    let picks_differ = blind.strategy != robust.strategy;
+    let (noise_blind_label, robust_label) = (blind.label.clone(), robust.label.clone());
+    RobustnessStudyReport {
+        model: model.name.clone(),
+        config: *cfg,
+        rows,
+        generations: outcome.history,
+        nsga_evaluations: outcome.evaluations,
+        noise_blind_label,
+        robust_label,
+        picks_differ,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +860,65 @@ mod tests {
         }
         // Lanes == 1 is bit-identical search-wise, so quality matches.
         assert_eq!(rows[1].best_rue.to_bits(), rows[0].best_rue.to_bits());
+    }
+
+    fn small_robustness() -> RobustnessStudyConfig {
+        RobustnessStudyConfig {
+            nsga: NsgaConfig {
+                population: 8,
+                generations: 2,
+                seed: 5,
+                ..NsgaConfig::default()
+            },
+            noise: NoiseEvalConfig {
+                draws: 2,
+                probes: 2,
+                ..NoiseEvalConfig::default()
+            },
+            ..RobustnessStudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn robustness_study_is_deterministic_and_complete() {
+        let m = zoo::micro_cnn();
+        let cfg = small_robustness();
+        let a = robustness_study(&m, &cfg);
+        let b = robustness_study(&m, &cfg);
+        assert_eq!(a, b, "same seeds must reproduce the study bit-exactly");
+        let n_candidates = paper_hybrid_candidates().len();
+        // One row per homogeneous baseline, the greedy mapping, and a
+        // non-empty NSGA front.
+        assert!(a.rows.len() > n_candidates + 1);
+        assert!(a.row("autohet/greedy").is_some());
+        assert!(a.row("nsga/front-0").is_some());
+        assert_eq!(a.generations.len(), cfg.nsga.generations + 1);
+        assert!(a.nsga_evaluations > 0);
+        for r in &a.rows {
+            assert_eq!(r.strategy.len(), m.layers.len());
+            assert!(r.energy_nj > 0.0 && r.latency_ns > 0.0);
+            assert!(r.noise_dev >= 0.0 && (0.0..=1.0).contains(&r.accuracy_proxy));
+        }
+        // The picks resolve to real rows and honour their definitions.
+        let blind = a.noise_blind();
+        let robust = a.robust();
+        assert!(a.rows.iter().all(|r| r.rue <= blind.rue));
+        assert!(a.rows.iter().all(|r| r.noise_dev >= robust.noise_dev));
+        assert_eq!(a.picks_differ, blind.strategy != robust.strategy);
+    }
+
+    #[test]
+    fn robust_pick_diverges_from_noise_blind_winner() {
+        // The acceptance bar of DESIGN.md §11: under the HyperMetric
+        // deviations, the best-RUE mapping is not the most noise-robust
+        // one, so a noise-blind search deploys fragile hardware.
+        let r = robustness_study(&zoo::micro_cnn(), &small_robustness());
+        assert!(
+            r.picks_differ,
+            "noise-blind {} and robust {} deploy the same strategy",
+            r.noise_blind_label, r.robust_label
+        );
+        assert!(r.robust().noise_dev < r.noise_blind().noise_dev);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! them: a DDPG trace and an annealing trace land in the same CSV schema
 //! and can be overlaid directly.
 
+use crate::robust::{RobustPoint, RobustSearchOutcome};
 use crate::search::rl::{EpisodeRecord, SearchTiming, VecSearchStats};
 use autohet_obs::{Registry, Series};
 
@@ -110,6 +111,59 @@ pub fn publish_vec_search(stats: &VecSearchStats, registry: &Registry, prefix: &
         .set((stats.mean_occupancy * 1e3) as i64);
 }
 
+/// Column schema of [`front_series`] (name, unit).
+pub const FRONT_COLUMNS: [(&str, &str); 6] = [
+    ("point", ""),
+    ("energy", "nJ"),
+    ("latency", "ns"),
+    ("noise_dev", ""),
+    ("accuracy_proxy", ""),
+    ("rue", ""),
+];
+
+/// A 3-objective Pareto front as a table (one row per front member,
+/// columns per [`FRONT_COLUMNS`]), e.g. `name = "nsga_front"`.
+pub fn front_series(name: &str, front: &[RobustPoint]) -> Series {
+    let mut s = Series::new(name, &FRONT_COLUMNS);
+    for (i, p) in front.iter().enumerate() {
+        s.push(vec![
+            i as f64,
+            p.energy_nj,
+            p.latency_ns,
+            p.noise_dev,
+            p.accuracy_proxy,
+            p.rue,
+        ]);
+    }
+    s
+}
+
+/// Mirror an NSGA-II search outcome into `registry` under `prefix`:
+/// evaluation/generation counters, a front-size gauge, and ×1e6-scaled
+/// gauges for the front's best noise deviation and best RUE (gauges are
+/// integers). Purely observational.
+pub fn publish_robust_search(outcome: &RobustSearchOutcome, registry: &Registry, prefix: &str) {
+    registry
+        .counter(&format!("{prefix}.evaluations"))
+        .add(outcome.evaluations);
+    registry
+        .counter(&format!("{prefix}.generations"))
+        .add(outcome.history.len() as u64);
+    registry
+        .gauge(&format!("{prefix}.front_size"))
+        .set(outcome.front.len() as i64);
+    if let Some(robust) = outcome.most_robust() {
+        registry
+            .gauge(&format!("{prefix}.best_noise_dev_x1e6"))
+            .set((robust.noise_dev * 1e6) as i64);
+    }
+    if let Some(best) = outcome.best_rue() {
+        registry
+            .gauge(&format!("{prefix}.best_rue_x1e6"))
+            .set((best.rue * 1e6) as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +240,56 @@ mod tests {
             123_456
         );
         assert_eq!(reg.gauge("search.vec.occupancy_x1000").get(), 750);
+    }
+
+    fn front() -> Vec<RobustPoint> {
+        use autohet_xbar::XbarShape;
+        (0..3)
+            .map(|i| RobustPoint {
+                strategy: vec![XbarShape::square(32 << i); 2],
+                energy_nj: 1000.0 + 100.0 * i as f64,
+                latency_ns: 500.0 - 50.0 * i as f64,
+                noise_dev: 0.05 / (i + 1) as f64,
+                accuracy_proxy: 0.9,
+                rue: 0.02 * (i + 1) as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn front_series_has_one_row_per_point() {
+        let s = front_series("nsga_front", &front());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.columns.len(), FRONT_COLUMNS.len());
+        let csv = s.to_csv();
+        assert!(csv.starts_with("point,energy[nJ],latency[ns],noise_dev,accuracy_proxy,rue"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn publish_robust_search_mirrors_front() {
+        let outcome = RobustSearchOutcome {
+            front: front(),
+            history: vec![
+                crate::robust::GenerationStat {
+                    generation: 0,
+                    front_size: 3,
+                    best_energy_nj: 1000.0,
+                    best_latency_ns: 400.0,
+                    best_noise_dev: 0.05 / 3.0,
+                };
+                5
+            ],
+            evaluations: 40,
+        };
+        let reg = Registry::new();
+        publish_robust_search(&outcome, &reg, "search.nsga");
+        assert_eq!(reg.counter("search.nsga.evaluations").get(), 40);
+        assert_eq!(reg.counter("search.nsga.generations").get(), 5);
+        assert_eq!(reg.gauge("search.nsga.front_size").get(), 3);
+        // Most robust point: noise_dev 0.05/3 → 16_666 in the ×1e6 gauge.
+        assert_eq!(reg.gauge("search.nsga.best_noise_dev_x1e6").get(), 16_666);
+        assert_eq!(reg.gauge("search.nsga.best_rue_x1e6").get(), 60_000);
     }
 
     #[test]

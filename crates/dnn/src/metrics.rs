@@ -55,6 +55,37 @@ pub fn agreement(a: &[Tensor], b: &[Tensor]) -> f64 {
     same as f64 / a.len() as f64
 }
 
+/// Index of the largest value (ties broken by lower index first), `None`
+/// for an empty slice. Integer sibling of [`Tensor::argmax`] for the
+/// bit-exact analog pipeline outputs.
+pub fn argmax_i64(values: &[i64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|(ai, av), (bi, bv)| av.cmp(bv).then(bi.cmp(ai)))
+        .map(|(i, _)| i)
+}
+
+/// Mean absolute deviation between two integer output vectors.
+pub fn mean_abs_dev_i64(a: &[i64], b: &[i64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y).abs() as f64).sum();
+    sum / a.len() as f64
+}
+
+/// Largest absolute deviation between two integer output vectors.
+pub fn max_abs_dev_i64(a: &[i64], b: &[i64]) -> i64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .max()
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +128,24 @@ mod tests {
         ];
         assert!((accuracy(&preds) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_i64_breaks_ties_low() {
+        assert_eq!(argmax_i64(&[3, 9, 9, 1]), Some(1));
+        assert_eq!(argmax_i64(&[-5]), Some(0));
+        assert_eq!(argmax_i64(&[]), None);
+    }
+
+    #[test]
+    fn integer_deviations() {
+        assert_eq!(
+            mean_abs_dev_i64(&[1, 2, 3], &[1, 4, 0]),
+            (0.0 + 2.0 + 3.0) / 3.0
+        );
+        assert_eq!(max_abs_dev_i64(&[1, 2, 3], &[1, 4, 0]), 3);
+        assert_eq!(mean_abs_dev_i64(&[], &[]), 0.0);
+        assert_eq!(max_abs_dev_i64(&[], &[]), 0);
     }
 
     #[test]

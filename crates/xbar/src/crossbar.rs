@@ -157,30 +157,60 @@ impl Crossbar {
         (self.rows_used, self.cols_used)
     }
 
+    /// Weight precision this crossbar was programmed at.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Bits stored per memristor cell (1 = SLC).
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// The conductance planes (`planes[b][r * shape.cols + c]`), for
+    /// in-crate device models that resample cells from the programmed
+    /// levels (see [`crate::variation`]).
+    pub(crate) fn planes(&self) -> &[Vec<f64>] {
+        &self.planes
+    }
+
     /// Apply a device noise model to every programmed cell (stuck-at-one
     /// faults pin cells to the full conductance level of the cell's
     /// precision). Per-cell RNG consumption order is plane-major then
     /// row-major over the used region, so seeded noise stays reproducible.
-    pub fn apply_noise<R: Rng>(&mut self, model: &NoiseModel, rng: &mut R) {
+    ///
+    /// Returns `true` iff some cell left the exact-level domain, i.e. the
+    /// bit-packed fast path was lost and MVMs now take the `f64` fallback.
+    /// Stuck-at faults and zero effective perturbation keep every cell on
+    /// an integer level; the packed planes are then rebuilt (or, when no
+    /// cell moved at all, left untouched) and the call returns `false`.
+    pub fn apply_noise<R: Rng>(&mut self, model: &NoiseModel, rng: &mut R) -> bool {
         if model.is_ideal() {
-            return;
+            return false;
         }
         let max_level = ((1_u64 << self.cell_bits) - 1) as f64;
         let cols = self.shape.cols as usize;
         let (rows_used, cols_used) = (self.rows_used, self.cols_used);
+        let mut moved = false;
         for plane in &mut self.planes {
             // One chunked walk over the used window per plane instead of
             // re-slicing from flat indices on every row.
             for row in plane.chunks_mut(cols).take(rows_used) {
                 for cell in &mut row[..cols_used] {
-                    *cell = model.perturb_leveled(*cell, max_level, rng);
+                    let perturbed = model.perturb_leveled(*cell, max_level, rng);
+                    moved |= perturbed != *cell;
+                    *cell = perturbed;
                 }
             }
         }
         // Keep the fast path coherent: pure stuck-at faults leave integer
         // levels (repack succeeds); conductance variation drops to the
-        // `f64` fallback.
-        self.repack();
+        // `f64` fallback. When nothing moved the packed planes are still
+        // valid verbatim — skip the rebuild entirely.
+        if moved {
+            self.repack();
+        }
+        !self.is_bit_packed()
     }
 
     /// True while the bit-packed integer fast path is active (exact
@@ -573,6 +603,58 @@ mod tests {
         // active row, offset-corrected: (255 − 128) · Σx.
         let y = xb.mvm(&[1], &Adc::new(10));
         assert_eq!(y, vec![127]);
+    }
+
+    #[test]
+    fn stuck_at_noise_keeps_fast_path_and_reports_exact() {
+        let mut rng = SmallRng::seed_from_u64(40);
+        let w = random_block(&mut rng, 16, 8);
+        let mut xb = Crossbar::program(XbarShape::square(32), &w, 8);
+        assert!(xb.is_bit_packed());
+        // Pure stuck-at faults pin cells to integer levels: the packed
+        // fast path survives and the call reports "still exact".
+        let fell_back = xb.apply_noise(
+            &NoiseModel {
+                conductance_sigma: 0.0,
+                stuck_at_zero: 0.3,
+                stuck_at_one: 0.3,
+            },
+            &mut rng,
+        );
+        assert!(!fell_back);
+        assert!(xb.is_bit_packed());
+    }
+
+    #[test]
+    fn noop_noise_keeps_packed_planes_alive() {
+        // SA1 on an all-max block cannot move any cell; the packed planes
+        // must stay alive without a rebuild and the ideal model must be a
+        // pure no-op too.
+        let w = vec![vec![127; 4]; 4];
+        let mut xb = Crossbar::program(XbarShape::square(32), &w, 8);
+        let mut rng = SmallRng::seed_from_u64(41);
+        assert!(!xb.apply_noise(
+            &NoiseModel {
+                conductance_sigma: 0.0,
+                stuck_at_zero: 0.0,
+                stuck_at_one: 1.0,
+            },
+            &mut rng,
+        ));
+        assert!(xb.is_bit_packed());
+        assert!(!xb.apply_noise(&NoiseModel::ideal(), &mut rng));
+        assert!(xb.is_bit_packed());
+        assert_eq!(xb.mvm(&[1; 4], &Adc::new(10)), vec![127 * 4; 4]);
+    }
+
+    #[test]
+    fn variation_noise_reports_fallback() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let w = random_block(&mut rng, 16, 8);
+        let mut xb = Crossbar::program(XbarShape::square(32), &w, 8);
+        let fell_back = xb.apply_noise(&NoiseModel::variation(0.2), &mut rng);
+        assert!(fell_back);
+        assert!(!xb.is_bit_packed());
     }
 
     #[test]

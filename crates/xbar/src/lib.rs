@@ -21,6 +21,9 @@
 //!   integer MVM whenever bitline sums stay inside ADC range.
 //! - [`noise`]: beyond-paper non-idealities (conductance variation,
 //!   stuck-at faults) for robustness studies.
+//! - [`variation`]: stochastic lognormal Ron/Roff device variation with
+//!   operation-unit readout and a packed fast path (DESIGN.md §11) — the
+//!   device model behind the accuracy-under-noise objective.
 //! - [`fault`]: beyond-paper component-level hard faults (dead crossbars,
 //!   degraded ADCs, spare crossbars) — the seeded [`fault::FaultMap`] the
 //!   accel crate's repair machinery consumes.
@@ -38,6 +41,7 @@ pub mod latency;
 pub mod noise;
 pub mod program_cost;
 pub mod utilization;
+pub mod variation;
 
 pub use adc::Adc;
 pub use cost::CostParams;
@@ -47,3 +51,4 @@ pub use fault::{ComponentHealth, FaultMap, FaultRates};
 pub use geometry::XbarShape;
 pub use kernels::{PackedInput, PackedWeights, XbarScratch};
 pub use utilization::Footprint;
+pub use variation::{VariationModel, VariedCrossbar};

@@ -11,6 +11,7 @@
 //! round-to-nearest then either absorbs the perturbation (small sigma) or
 //! produces output errors, which the robustness tests quantify.
 
+use rand::distributions::{Distribution, StandardNormal};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -67,11 +68,9 @@ impl NoiseModel {
             return max_level;
         }
         if self.conductance_sigma > 0.0 && ideal > 0.0 {
-            // Box–Muller normal sample; rand's distributions crate is not a
-            // declared dependency, so generate it directly.
-            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.gen();
-            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            // The vendored sampler inlines the exact Box–Muller arithmetic
+            // this function used to carry, so seeded streams are unchanged.
+            let z = StandardNormal.sample(rng);
             (ideal * (1.0 + self.conductance_sigma * z)).max(0.0)
         } else {
             ideal

@@ -2,6 +2,7 @@
 # Snapshot benchmark groups into BENCH_*.json files:
 #   kernels → BENCH_kernels.json   (substrate micro-benchmarks)
 #   search  → BENCH_search.json    (300-round end-to-end search drivers)
+#   noise   → BENCH_noise.json     (device-variation kernels + MC evaluator)
 #
 # The shared CI box is noisy (throttling plus neighbors), so each snapshot
 # runs its whole bench group REPS times — sequential and vectorized search
@@ -10,13 +11,13 @@
 # same machine only. The search snapshot derives episodes/sec and the
 # speed-up of every driver over the sequential baseline in its group.
 #
-# Usage: scripts/bench_snapshot.sh [reps] [bench ...]   (default: 5, both)
+# Usage: scripts/bench_snapshot.sh [reps] [bench ...]   (default: 5, all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPS="${1:-5}"
 shift || true
-if [ $# -eq 0 ]; then BENCHES=(kernels search); else BENCHES=("$@"); fi
+if [ $# -eq 0 ]; then BENCHES=(kernels search noise); else BENCHES=("$@"); fi
 
 snapshot() {
   local bench="$1" out="$2"
@@ -79,6 +80,18 @@ if bench == "search":
     snapshot["episodes"] = EPISODES
     snapshot["derived"] = derived
 
+if bench == "noise":
+    # The packed variation MVM must beat the dense f64 fallback it
+    # replaces (DESIGN.md §11 acceptance: ≥3×); derive the speed-ups so
+    # the snapshot records the claim directly.
+    fast = best.get("noise/variation_mvm/fast_108x64")
+    derived = {}
+    for other in ("dense", "scalar", "ideal"):
+        ns = best.get(f"noise/variation_mvm/{other}_108x64")
+        if fast and ns:
+            derived[f"speedup_fast_vs_{other}"] = round(ns / fast, 2)
+    snapshot["derived"] = derived
+
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
@@ -91,6 +104,7 @@ for b in "${BENCHES[@]}"; do
   case "$b" in
     kernels) snapshot kernels BENCH_kernels.json ;;
     search) snapshot search BENCH_search.json ;;
-    *) echo "bench_snapshot: unknown bench '$b' (kernels|search)" >&2; exit 1 ;;
+    noise) snapshot noise BENCH_noise.json ;;
+    *) echo "bench_snapshot: unknown bench '$b' (kernels|search|noise)" >&2; exit 1 ;;
   esac
 done

@@ -11,6 +11,7 @@ cargo test -q
 # so bench-only breakage fails the gate too.
 cargo bench -p autohet-bench --bench kernels -- --test >/dev/null
 cargo bench -p autohet-bench --bench search -- --test >/dev/null
+cargo bench -p autohet-bench --bench noise -- --test >/dev/null
 cargo fmt --check
 # --all-targets lints tests, examples, and benches too, not just lib code.
 cargo clippy --workspace --all-targets -- -D warnings
@@ -26,3 +27,13 @@ for f in trace.jsonl trace.collapsed metrics.txt metrics.jsonl \
          serving_windows.csv serving_windows.jsonl; do
   [ -s "target/obs_smoke/$f" ] || { echo "missing obs artifact: $f" >&2; exit 1; }
 done
+
+# Robustness smoke: the NSGA-II study must run end to end, emit its
+# artifacts, and find a noise-robust pick distinct from the noise-blind
+# winner (the DESIGN.md §11 acceptance bar).
+cargo run --release -p autohet --example robustness_study -- --smoke --out target/robustness_smoke
+for f in nsga_front.csv nsga_front.jsonl metrics.txt summary.txt; do
+  [ -s "target/robustness_smoke/$f" ] || { echo "missing robustness artifact: $f" >&2; exit 1; }
+done
+grep -q '^picks_differ: true$' target/robustness_smoke/summary.txt \
+  || { echo "robustness smoke: noise-robust pick equals the noise-blind winner" >&2; exit 1; }
