@@ -21,10 +21,13 @@
 //! concurrently against one memo table.
 
 use crate::alloc::{allocation_from_placements, placement_for, LayerPlacement};
+use crate::degradation::{DegradationState, DegradedEvalReport, DriftEvalConfig, RecoveryPolicy};
 use crate::hierarchy::AccelConfig;
 use crate::metrics::{compose_report, layer_cost, EvalReport, LayerCost};
 use crate::repair::{repair_allocation, RepairPolicy, RepairReport};
-use crate::robustness::{layer_noise, LayerNoise, NoiseEvalConfig, RobustnessReport};
+use crate::robustness::{
+    layer_noise, layer_noise_with_reference, LayerNoise, NoiseEvalConfig, RobustnessReport,
+};
 use crate::tile_shared::apply_tile_sharing;
 use autohet_dnn::Model;
 use autohet_xbar::energy::static_power;
@@ -201,6 +204,17 @@ struct NoiseState {
     memo: Mutex<HashMap<(usize, XbarShape), LayerNoise>>,
 }
 
+/// Drift-evaluation state of an engine: the lifetime configuration plus
+/// its own per-epoch memo. Keys carry the epoch (`f64` bits — epochs are
+/// compared exactly, not approximately) and whether the slice was read
+/// through recalibrated references, so stale and recalibrated
+/// trajectories memoize side by side next to the static noise cache.
+#[derive(Debug)]
+struct DriftState {
+    cfg: DriftEvalConfig,
+    memo: Mutex<HashMap<(usize, XbarShape, u64, bool), LayerNoise>>,
+}
+
 /// Memoized evaluator for one `(model, config)` pair.
 ///
 /// ```
@@ -229,6 +243,7 @@ pub struct EvalEngine {
     layer_hits: AtomicU64,
     layer_misses: AtomicU64,
     noise: Option<NoiseState>,
+    drift: Option<DriftState>,
 }
 
 impl EvalEngine {
@@ -258,6 +273,7 @@ impl EvalEngine {
             layer_hits: AtomicU64::new(0),
             layer_misses: AtomicU64::new(0),
             noise: None,
+            drift: None,
         }
     }
 
@@ -277,6 +293,23 @@ impl EvalEngine {
     /// [`EvalEngine::with_noise`].
     pub fn noise_config(&self) -> Option<&NoiseEvalConfig> {
         self.noise.as_ref().map(|n| &n.cfg)
+    }
+
+    /// This engine with lifetime-degradation evaluation enabled:
+    /// [`EvalEngine::evaluate_degraded`] becomes available, memoizing
+    /// per-epoch noise slices beside the static noise cache.
+    pub fn with_drift(mut self, cfg: DriftEvalConfig) -> Self {
+        self.drift = Some(DriftState {
+            cfg,
+            memo: Mutex::new(HashMap::new()),
+        });
+        self
+    }
+
+    /// The drift-evaluation configuration, if enabled via
+    /// [`EvalEngine::with_drift`].
+    pub fn drift_config(&self) -> Option<&DriftEvalConfig> {
+        self.drift.as_ref().map(|d| &d.cfg)
     }
 
     /// The model this engine evaluates.
@@ -330,6 +363,9 @@ impl EvalEngine {
         s.order.clear();
         if let Some(n) = &self.noise {
             n.memo.lock().clear();
+        }
+        if let Some(d) = &self.drift {
+            d.memo.lock().clear();
         }
     }
 
@@ -421,6 +457,110 @@ impl EvalEngine {
         policy: &RepairPolicy,
     ) -> FaultedEvalReport {
         let _span = autohet_obs::trace::span("engine.evaluate_faulted");
+        let (eval, repair, fidelity) = self.compose_repaired(strategy, policy, |capacities| {
+            FaultMap::sample(seed, rates, capacities, policy.spares_per_tile)
+        });
+        FaultedEvalReport {
+            eval,
+            repair,
+            seed,
+            rates,
+            fidelity,
+        }
+    }
+
+    /// Evaluate `strategy` at lifetime epoch `t_hours` under `recovery`
+    /// (DESIGN.md §12). The hard side samples the drift model's nested
+    /// fault snapshot at `t` and repairs it under the recovery arm's
+    /// cascade ([`DriftEvalConfig::repair_policy`]); the soft side scores
+    /// Monte-Carlo robustness of the drifted device population read
+    /// against the arm's reference model (stale vs recalibrated), with
+    /// per-epoch slices memoized beside the static noise cache.
+    ///
+    /// At `t = 0` the drifted population is the base model bit for bit
+    /// and no component has converted, so `eval` is bit-identical to
+    /// [`EvalEngine::evaluate`] for every recovery arm. Results are
+    /// deterministic and independent of evaluation order.
+    ///
+    /// Panics unless the engine was built with
+    /// [`EvalEngine::with_drift`].
+    pub fn evaluate_degraded(
+        &self,
+        strategy: &[XbarShape],
+        t_hours: f64,
+        recovery: RecoveryPolicy,
+    ) -> DegradedEvalReport {
+        let _span = autohet_obs::trace::span("engine.evaluate_degraded");
+        let ds = self
+            .drift
+            .as_ref()
+            .expect("drift evaluation requires EvalEngine::with_drift");
+        let cfg = ds.cfg;
+        let state = DegradationState::at(&cfg.drift, t_hours, recovery);
+        let policy = cfg.repair_policy(recovery);
+        let (eval, repair, fidelity) = self.compose_repaired(strategy, &policy, |capacities| {
+            cfg.drift
+                .snapshot_at(t_hours, capacities, policy.spares_per_tile)
+        });
+        let per_layer: Vec<LayerNoise> = strategy
+            .iter()
+            .enumerate()
+            .map(|(position, &shape)| self.drift_slice(ds, &state, position, shape))
+            .collect();
+        let robustness = RobustnessReport::aggregate(per_layer);
+        let accuracy_proxy = fidelity * robustness.accuracy_proxy;
+        DegradedEvalReport {
+            eval,
+            repair,
+            robustness,
+            state,
+            fidelity,
+            accuracy_proxy,
+        }
+    }
+
+    fn drift_slice(
+        &self,
+        ds: &DriftState,
+        state: &DegradationState,
+        position: usize,
+        shape: XbarShape,
+    ) -> LayerNoise {
+        let key = (position, shape, state.t_hours.to_bits(), state.recalibrated);
+        if let Some(n) = ds.memo.lock().get(&key) {
+            return *n;
+        }
+        let ncfg = NoiseEvalConfig {
+            variation: state.device,
+            draws: ds.cfg.draws,
+            probes: ds.cfg.probes,
+            seed: ds.cfg.noise_seed,
+        };
+        let n = layer_noise_with_reference(
+            &self.model.layers[position],
+            shape,
+            &self.cfg.cost,
+            &ncfg,
+            &state.device,
+            &state.reference,
+        );
+        ds.memo.lock().insert(key, n);
+        n
+    }
+
+    /// Shared hard-fault composition: slice the strategy, allocate (with
+    /// sharing per the config), sample the fault map for the resulting
+    /// tile array via `sample`, repair under `policy`, and price the
+    /// repaired mapping (latency factors, spare area, spare leakage).
+    fn compose_repaired<F>(
+        &self,
+        strategy: &[XbarShape],
+        policy: &RepairPolicy,
+        sample: F,
+    ) -> (EvalReport, RepairReport, f64)
+    where
+        F: FnOnce(&[u32]) -> FaultMap,
+    {
         assert_eq!(
             strategy.len(),
             self.model.layers.len(),
@@ -436,7 +576,7 @@ impl EvalEngine {
         let mut alloc = allocation_from_placements(per_layer, self.cfg.pes_per_tile);
         let sharing = self.cfg.tile_shared.then(|| apply_tile_sharing(&mut alloc));
         let capacities: Vec<u32> = alloc.tiles.iter().map(|t| t.capacity).collect();
-        let faults = FaultMap::sample(seed, rates, &capacities, policy.spares_per_tile);
+        let faults = sample(&capacities);
         let repair = repair_allocation(&mut alloc, &faults, policy);
         for (pl, c) in alloc.per_layer.iter().zip(costs.iter_mut()) {
             c.latency_ns *= repair.latency_factor(pl.layer_index);
@@ -455,13 +595,7 @@ impl EvalEngine {
             .map(|pl| pl.footprint.total_xbars())
             .collect();
         let fidelity = repair.model_fidelity(&totals);
-        FaultedEvalReport {
-            eval,
-            repair,
-            seed,
-            rates,
-            fidelity,
-        }
+        (eval, repair, fidelity)
     }
 
     fn compose(&self, strategy: &[XbarShape]) -> EvalReport {
@@ -500,6 +634,10 @@ impl Clone for EvalEngine {
             noise: self.noise.as_ref().map(|n| NoiseState {
                 cfg: n.cfg,
                 memo: Mutex::new(n.memo.lock().clone()),
+            }),
+            drift: self.drift.as_ref().map(|d| DriftState {
+                cfg: d.cfg,
+                memo: Mutex::new(d.memo.lock().clone()),
             }),
         }
     }
@@ -751,6 +889,122 @@ mod tests {
         let m = zoo::micro_cnn();
         let engine = EvalEngine::new(m.clone(), AccelConfig::default());
         let _ = engine.evaluate_noisy(&rotating_strategy(&m, 0));
+    }
+
+    fn drift_engine(m: &Model, cfg: AccelConfig) -> EvalEngine {
+        EvalEngine::new(m.clone(), cfg).with_drift(DriftEvalConfig {
+            drift: autohet_xbar::DriftModel::fast(),
+            draws: 2,
+            probes: 2,
+            ..DriftEvalConfig::default()
+        })
+    }
+
+    #[test]
+    fn epoch_zero_reproduces_the_healthy_evaluation_for_every_arm() {
+        let m = zoo::micro_cnn();
+        for cfg in [
+            AccelConfig::default(),
+            AccelConfig::default().with_tile_sharing(),
+        ] {
+            let engine = drift_engine(&m, cfg);
+            let s = rotating_strategy(&m, 0);
+            let healthy = engine.evaluate(&s);
+            for arm in RecoveryPolicy::ALL {
+                let d = engine.evaluate_degraded(&s, 0.0, arm);
+                if !arm.repairs() {
+                    // No spares provisioned: the epoch-0 report is the
+                    // healthy evaluation bit for bit.
+                    assert_eq!(d.eval, healthy, "{arm:?}");
+                } else {
+                    // Provisioned spares cost area; nothing else moves.
+                    assert_eq!(d.eval.latency_ns, healthy.latency_ns, "{arm:?}");
+                    assert_eq!(d.eval.energy_nj(), healthy.energy_nj(), "{arm:?}");
+                }
+                assert!(d.repair.is_clean(), "{arm:?}");
+                assert_eq!(d.fidelity, 1.0);
+                // Device == reference at t = 0, so the soft axis scores
+                // an ordinary same-model draw for every arm.
+                let no = engine.evaluate_degraded(&s, 0.0, RecoveryPolicy::NoRecovery);
+                assert_eq!(d.robustness, no.robustness);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_evaluation_is_deterministic_and_memoized() {
+        let m = zoo::micro_cnn();
+        let engine = drift_engine(&m, AccelConfig::default());
+        let s = rotating_strategy(&m, 1);
+        let a = engine.evaluate_degraded(&s, 3000.0, RecoveryPolicy::FullCascade);
+        let b = engine.evaluate_degraded(&s, 3000.0, RecoveryPolicy::FullCascade);
+        assert_eq!(a, b);
+        // Memoized epoch slices survive a clone and a cache clear stays
+        // correct.
+        let fork = engine.clone();
+        assert_eq!(
+            fork.evaluate_degraded(&s, 3000.0, RecoveryPolicy::FullCascade),
+            a
+        );
+        engine.clear();
+        assert_eq!(
+            engine.evaluate_degraded(&s, 3000.0, RecoveryPolicy::FullCascade),
+            a
+        );
+    }
+
+    #[test]
+    fn recovery_arms_order_accuracy_at_late_epochs() {
+        // The cascade's whole point: at a drifted epoch, recalibration
+        // strictly beats the stale readout on the soft axis, and the full
+        // cascade is at least as good again on the hard axis.
+        let m = zoo::micro_cnn();
+        let engine = drift_engine(&m, AccelConfig::default());
+        let s = rotating_strategy(&m, 0);
+        let t = 5_000.0;
+        let no = engine.evaluate_degraded(&s, t, RecoveryPolicy::NoRecovery);
+        let recal = engine.evaluate_degraded(&s, t, RecoveryPolicy::RecalibrateOnly);
+        let full = engine.evaluate_degraded(&s, t, RecoveryPolicy::FullCascade);
+        assert!(
+            recal.robustness.mean_dev < no.robustness.mean_dev,
+            "recalibration must cut the stale deviation ({} vs {})",
+            recal.robustness.mean_dev,
+            no.robustness.mean_dev
+        );
+        assert!(recal.accuracy_proxy > no.accuracy_proxy);
+        assert!(full.accuracy_proxy >= recal.accuracy_proxy);
+        assert!(full.fidelity >= no.fidelity);
+        // Hard damage exists by hour 20k under the fast corner, and the
+        // repairing arm re-homes at least some of it.
+        assert!(no.repair.dead_occupied > 0, "fixture needs hard faults");
+        assert_eq!(no.repair.spared + no.repair.remapped, 0);
+        assert!(full.repair.spared + full.repair.remapped > 0);
+    }
+
+    #[test]
+    fn degradation_is_monotone_along_the_trajectory() {
+        let m = zoo::micro_cnn();
+        let engine = drift_engine(&m, AccelConfig::default());
+        let s = rotating_strategy(&m, 2);
+        let mut prev_fid = 1.0f64;
+        for t in [0.0, 1000.0, 10_000.0, 50_000.0] {
+            let d = engine.evaluate_degraded(&s, t, RecoveryPolicy::NoRecovery);
+            assert!(
+                d.fidelity <= prev_fid + 1e-12,
+                "hard fidelity rose at hour {t}"
+            );
+            prev_fid = d.fidelity;
+            assert!((0.0..=1.0).contains(&d.accuracy_proxy));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn degraded_evaluation_requires_with_drift() {
+        let m = zoo::micro_cnn();
+        let engine = EvalEngine::new(m.clone(), AccelConfig::default());
+        let _ =
+            engine.evaluate_degraded(&rotating_strategy(&m, 0), 1.0, RecoveryPolicy::FullCascade);
     }
 
     #[test]

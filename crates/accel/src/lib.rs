@@ -27,9 +27,14 @@
 //! - [`robustness`]: the accuracy-under-noise oracle — Monte-Carlo
 //!   device-variation scoring per (layer, shape), surfaced through
 //!   [`engine::EvalEngine::evaluate_noisy`].
+//! - [`degradation`]: unified lifetime degradation (DESIGN.md §12) —
+//!   hard faults + variation + drift resolved per epoch, the extended
+//!   *recalibrate → remap → degrade* cascade, surfaced through
+//!   [`engine::EvalEngine::evaluate_degraded`].
 
 pub mod alloc;
 pub mod controller;
+pub mod degradation;
 pub mod engine;
 pub mod hierarchy;
 pub mod mapping;
@@ -43,6 +48,7 @@ pub mod tile_shared;
 
 pub use alloc::{allocate_tile_based, allocation_from_placements, Allocation, LayerPlacement};
 pub use controller::{MappedLayer, MappedModel};
+pub use degradation::{DegradationState, DegradedEvalReport, DriftEvalConfig, RecoveryPolicy};
 pub use engine::{EngineStats, EvalEngine, FaultedEvalReport, NoisyEvalReport};
 pub use hierarchy::{AccelConfig, Tile};
 pub use metrics::{evaluate, EvalReport, LayerCost, LayerReport};

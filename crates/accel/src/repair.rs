@@ -55,15 +55,20 @@ pub enum DegradationMode {
 pub struct RepairPolicy {
     /// Spare logical crossbars provisioned per tile.
     pub spares_per_tile: u32,
+    /// Whether displaced slices may remap onto other tiles' usable empty
+    /// slots (cascade step 2). Disabled by the lifetime campaign's
+    /// no-recovery arm; always on for ordinary repair.
+    pub remap: bool,
     /// Fallback when spares and remap targets are exhausted.
     pub fallback: DegradationMode,
 }
 
 impl Default for RepairPolicy {
-    /// One spare per tile, re-serialization fallback.
+    /// One spare per tile, remapping on, re-serialization fallback.
     fn default() -> Self {
         RepairPolicy {
             spares_per_tile: 1,
+            remap: true,
             fallback: DegradationMode::Reserialize,
         }
     }
@@ -74,6 +79,7 @@ impl RepairPolicy {
     pub fn no_spares(fallback: DegradationMode) -> Self {
         RepairPolicy {
             spares_per_tile: 0,
+            remap: true,
             fallback,
         }
     }
@@ -81,6 +87,13 @@ impl RepairPolicy {
     /// Policy with a custom spare count.
     pub fn with_spares(mut self, spares: u32) -> Self {
         self.spares_per_tile = spares;
+        self
+    }
+
+    /// This policy with cascade step 2 (cross-tile remapping) disabled:
+    /// displaced slices that find no spare degrade immediately.
+    pub fn without_remap(mut self) -> Self {
+        self.remap = false;
         self
     }
 }
@@ -276,10 +289,13 @@ pub fn repair_allocation(
             continue;
         }
         // 2. Remap to the lowest-positioned same-shape tile with a usable
-        //    empty slot.
+        //    empty slot (skipped when the policy forbids remapping).
         let shape = alloc.tiles[d.tile].shape;
-        let target = (0..n_tiles)
-            .find(|&t| t != d.tile && alloc.tiles[t].shape == shape && !free[t].is_empty());
+        let target = policy.remap.then(|| {
+            (0..n_tiles)
+                .find(|&t| t != d.tile && alloc.tiles[t].shape == shape && !free[t].is_empty())
+        });
+        let target = target.flatten();
         if let Some(t) = target {
             let health = free[t].remove(0);
             if matches!(health, ComponentHealth::DegradedAdc { .. }) {
@@ -491,6 +507,28 @@ mod tests {
         assert_eq!(rep.remapped, 1);
         assert_eq!(rep.degraded, 0);
         assert_eq!(alloc.occupied_xbars(), occupied_before);
+        assert_invariant(&alloc, &faults, &rep);
+    }
+
+    #[test]
+    fn without_remap_the_slice_degrades_despite_free_slots() {
+        // Same fixture as the remap test, but with cascade step 2 off:
+        // the displaced slice must fall straight through to degradation
+        // even though a same-shape tile has room.
+        let m = zoo::micro_cnn();
+        let strategy = vec![XbarShape::square(64); m.layers.len()];
+        let mut alloc = allocate_tile_based(&m, &strategy, 4);
+        let caps = capacities(&alloc);
+        let mut faults = FaultMap::ideal(&caps, 0);
+        faults.tiles[0].slots[0] = ComponentHealth::Dead;
+        assert!(alloc.tiles.iter().skip(1).any(|t| t.empty() > 0));
+        let rep = repair_allocation(
+            &mut alloc,
+            &faults,
+            &RepairPolicy::no_spares(DegradationMode::Reserialize).without_remap(),
+        );
+        assert_eq!(rep.remapped, 0);
+        assert_eq!(rep.degraded, 1);
         assert_invariant(&alloc, &faults, &rep);
     }
 

@@ -143,7 +143,33 @@ pub fn layer_noise(
     cost: &CostParams,
     cfg: &NoiseEvalConfig,
 ) -> LayerNoise {
-    if cfg.variation.is_exact() || cfg.draws == 0 || cfg.probes == 0 {
+    layer_noise_with_reference(layer, shape, cost, cfg, &cfg.variation, &cfg.variation)
+}
+
+/// [`layer_noise`] with the device population and readout reference
+/// decoupled: currents are drawn from `device`, per-unit counts resolve
+/// against `reference`'s thresholds
+/// ([`VariedCrossbar::sample_with_reference`]).
+///
+/// This is the soft half of lifetime degradation (DESIGN.md §12): under
+/// conductance drift the population follows
+/// [`DriftModel::variation_at`](autohet_xbar::drift::DriftModel::variation_at)
+/// while a *stale* readout still references the factory model — high
+/// deviation — whereas a *recalibrated* readout references the drifted
+/// model itself and recovers. `cfg.variation` is ignored here; draws,
+/// probes, and seeding come from `cfg` so drift slices stay comparable
+/// to static noise slices. With `device == reference` this is exactly
+/// [`layer_noise`], bit for bit.
+pub fn layer_noise_with_reference(
+    layer: &Layer,
+    shape: XbarShape,
+    cost: &CostParams,
+    cfg: &NoiseEvalConfig,
+    device: &VariationModel,
+    reference: &VariationModel,
+) -> LayerNoise {
+    let exact = device == reference && device.is_exact();
+    if exact || cfg.draws == 0 || cfg.probes == 0 {
         return LayerNoise::exact();
     }
     // Representative block: the first grid block of the mapping — the
@@ -183,7 +209,12 @@ pub fn layer_noise(
     let mut exact = 0_u64;
     let mut argmax_hits = 0_u64;
     for d in 0..cfg.draws {
-        let vc = VariedCrossbar::sample(&xb, &cfg.variation, splitmix(base ^ ((d as u64) << 8)));
+        let vc = VariedCrossbar::sample_with_reference(
+            &xb,
+            device,
+            reference,
+            splitmix(base ^ ((d as u64) << 8)),
+        );
         for (probe, ideal) in probes.iter().zip(&ideal) {
             let noisy = vc.mvm(probe, &adc);
             for (&a, &b) in ideal.iter().zip(&noisy) {
@@ -249,6 +280,44 @@ mod tests {
         let small = layer_noise(&l, XbarShape::square(32), &cost(), &cfg);
         let large = layer_noise(&l, XbarShape::new(288, 256), &cost(), &cfg);
         assert_ne!(small, large);
+    }
+
+    #[test]
+    fn reference_equal_to_device_matches_layer_noise() {
+        let l = Layer::conv(3, 12, 64, 3, 1, 1, 8);
+        let cfg = NoiseEvalConfig::default();
+        let a = layer_noise(&l, XbarShape::square(64), &cost(), &cfg);
+        let b = layer_noise_with_reference(
+            &l,
+            XbarShape::square(64),
+            &cost(),
+            &cfg,
+            &cfg.variation,
+            &cfg.variation,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stale_reference_degrades_and_recalibration_recovers() {
+        let l = Layer::conv(1, 12, 64, 3, 1, 1, 8);
+        let cfg = NoiseEvalConfig::default();
+        let factory = VariationModel::hypermetric();
+        let drifted = VariationModel {
+            r_on: factory.r_on * 1.5,
+            r_off: factory.r_off * 1.5,
+            ..factory
+        };
+        let shape = XbarShape::square(64);
+        let stale = layer_noise_with_reference(&l, shape, &cost(), &cfg, &drifted, &factory);
+        let recal = layer_noise_with_reference(&l, shape, &cost(), &cfg, &drifted, &drifted);
+        assert!(
+            stale.mean_dev > 2.0 * recal.mean_dev,
+            "stale {} vs recalibrated {}",
+            stale.mean_dev,
+            recal.mean_dev
+        );
+        assert!(stale.argmax_rate <= recal.argmax_rate);
     }
 
     #[test]

@@ -93,8 +93,9 @@ pub mod prelude {
         RlSearchConfig, SearchOutcome, SearchTiming, VecSearchStats,
     };
     pub use crate::studies::{
-        fault_campaign, robustness_study, search_throughput_study, serving_study,
-        FaultCampaignConfig, FaultCampaignReport, FaultCampaignRow, RobustnessStudyConfig,
+        fault_campaign, lifetime_campaign, robustness_study, search_throughput_study,
+        serving_study, FaultCampaignConfig, FaultCampaignReport, FaultCampaignRow,
+        LifetimeCampaignConfig, LifetimeCampaignReport, LifetimeRow, RobustnessStudyConfig,
         RobustnessStudyReport, RobustnessStudyRow, ThroughputRow,
     };
     pub use crate::telemetry::{
@@ -103,18 +104,20 @@ pub mod prelude {
     };
     pub use crate::vec_env::{VecEnv, VecEpisode};
     pub use autohet_accel::{
-        evaluate, AccelConfig, DegradationMode, EngineStats, EvalEngine, EvalReport,
-        FaultedEvalReport, NoiseEvalConfig, NoisyEvalReport, RepairPolicy, RobustnessReport,
+        evaluate, AccelConfig, DegradationMode, DegradationState, DegradedEvalReport,
+        DriftEvalConfig, EngineStats, EvalEngine, EvalReport, FaultedEvalReport, NoiseEvalConfig,
+        NoisyEvalReport, RecoveryPolicy, RepairPolicy, RobustnessReport,
     };
     pub use autohet_serve::{
-        run_serving, run_serving_parallel, BurstSpec, Deployment, FailureSpec, LatencyHistogram,
-        ServeConfig, ServingReport, TenantSpec, TenantStats, Workload,
+        run_serving, run_serving_parallel, BurstSpec, Deployment, FailureSpec, HealthSpec,
+        LatencyHistogram, ServeConfig, ServingReport, TenantSpec, TenantStats, Workload,
     };
     pub use autohet_xbar::fault::{FaultMap, FaultRates};
     pub use autohet_xbar::geometry::{
         all_candidates, mixed_candidates, paper_hybrid_candidates, RECT_CANDIDATES,
         SQUARE_CANDIDATES,
     };
+    pub use autohet_xbar::DriftModel;
     pub use autohet_xbar::{VariationModel, XbarShape};
 }
 

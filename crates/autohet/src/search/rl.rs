@@ -14,7 +14,7 @@
 
 use crate::env::AutoHetEnv;
 use crate::vec_env::VecEnv;
-use autohet_accel::{AccelConfig, EngineStats, EvalEngine, EvalReport};
+use autohet_accel::{AccelConfig, EngineStats, EvalEngine, EvalReport, NoiseEvalConfig};
 use autohet_dnn::Model;
 use autohet_rl::{Ddpg, DdpgConfig, Experience, OuNoise};
 use autohet_xbar::XbarShape;
@@ -48,6 +48,16 @@ pub struct RlSearchConfig {
     /// paper's Eq. 2; other weights trade utilization against energy (see
     /// `crate::pareto`).
     pub reward_weights: (f64, f64),
+    /// Opt-in device-variation pressure on the reward: when positive,
+    /// each episode's reward is divided by
+    /// `1 + noise_penalty × mean_dev`, where `mean_dev` is the
+    /// Monte-Carlo mean output deviation of the episode's strategy under
+    /// the engine's noise oracle ([`EvalEngine::evaluate_noisy`], enabled
+    /// automatically with [`NoiseEvalConfig::default`] if the engine has
+    /// no noise state). `0.0` (the default) never touches the noise
+    /// oracle and leaves the search bit-identical to earlier versions.
+    #[serde(default)]
+    pub noise_penalty: f64,
 }
 
 impl Default for RlSearchConfig {
@@ -61,7 +71,42 @@ impl Default for RlSearchConfig {
             train_steps: 8,
             warmup_episodes: 60,
             reward_weights: (1.0, 1.0),
+            noise_penalty: 0.0,
         }
+    }
+}
+
+/// The engine a noise-penalized search runs on: the caller's engine if it
+/// already carries a noise state (or no penalty applies), otherwise a
+/// clone with the default noise oracle attached. Cloning forfeits cache
+/// sharing with the caller, so penalized searches that want a shared memo
+/// should pass an engine built with [`EvalEngine::with_noise`].
+fn noise_ready_engine(scfg: &RlSearchConfig, engine: Arc<EvalEngine>) -> Arc<EvalEngine> {
+    assert!(
+        scfg.noise_penalty >= 0.0 && scfg.noise_penalty.is_finite(),
+        "bad noise penalty {}",
+        scfg.noise_penalty
+    );
+    if scfg.noise_penalty > 0.0 && engine.noise_config().is_none() {
+        Arc::new(EvalEngine::clone(&engine).with_noise(NoiseEvalConfig::default()))
+    } else {
+        engine
+    }
+}
+
+/// `reward` deflated by the configured noise penalty (identity at the
+/// default `noise_penalty == 0.0`, which never queries the noise oracle).
+fn penalized_reward(
+    scfg: &RlSearchConfig,
+    env: &AutoHetEnv,
+    strategy: &[XbarShape],
+    reward: f64,
+) -> f64 {
+    if scfg.noise_penalty > 0.0 {
+        let noisy = env.engine().evaluate_noisy(strategy);
+        reward / (1.0 + scfg.noise_penalty * noisy.robustness.mean_dev)
+    } else {
+        reward
     }
 }
 
@@ -201,6 +246,7 @@ pub fn rl_search_with_engine(
 ) -> SearchOutcome {
     let _span = autohet_obs::trace::span("search.rl");
     let t0 = Instant::now();
+    let engine = noise_ready_engine(scfg, engine);
     let stats0 = engine.stats();
     let env = AutoHetEnv::with_shared_engine(model, candidates, *cfg, scfg.reward_weights, engine);
     let n = env.num_layers();
@@ -245,7 +291,7 @@ pub fn rl_search_with_engine(
         let ts = Instant::now();
         let strategy = env.decode(&actions);
         let report = env.evaluate_strategy(&strategy);
-        let reward = env.reward(&report);
+        let reward = penalized_reward(scfg, &env, &strategy, env.reward(&report));
         timing.simulator += ts.elapsed();
 
         history.push(EpisodeRecord {
@@ -428,6 +474,7 @@ pub fn rl_search_vec_with_stats(
     assert!(lanes >= 1, "need at least one lane");
     assert!(scfg.episodes >= 1, "need at least one episode");
     let t0 = Instant::now();
+    let engine = noise_ready_engine(scfg, engine);
     let stats0 = engine.stats();
     let env = AutoHetEnv::with_shared_engine(model, candidates, *cfg, scfg.reward_weights, engine);
     let n = env.num_layers();
@@ -505,6 +552,16 @@ pub fn rl_search_vec_with_stats(
         // ---- Hardware feedback: fan the group out over the worker pool.
         let ts = Instant::now();
         let episodes_done = venv.finish();
+        // The noise oracle's memoized slices are pure functions of
+        // (layer, shape), so folding the penalty here — instead of inside
+        // the evaluation fan-out — preserves the lanes == 1 bit-identity;
+        // it happens before the cache window closes because the oracle's
+        // internal `evaluate` call lands in the episode's counters under
+        // the sequential driver too.
+        let rewards: Vec<f64> = episodes_done
+            .iter()
+            .map(|ep| penalized_reward(scfg, &env, &ep.strategy, ep.reward))
+            .collect();
         timing.simulator += ts.elapsed();
 
         // One cache window per group: the decision stage never touches the
@@ -514,16 +571,17 @@ pub fn rl_search_vec_with_stats(
         // ---- Learning stage: ingest lanes in order, then train per group.
         let ta = Instant::now();
         for (l, ep) in episodes_done.into_iter().enumerate() {
+            let reward = rewards[l];
             history.push(EpisodeRecord {
                 episode: episode + l,
                 rue: ep.report.rue(),
-                reward: ep.reward,
+                reward,
                 utilization: ep.report.utilization,
                 energy_nj: ep.report.energy_nj(),
                 cache_hit_rate: hit,
             });
-            if ep.reward > best_reward {
-                best_reward = ep.reward;
+            if reward > best_reward {
+                best_reward = reward;
                 best = Some((ep.strategy, ep.report));
             }
             let mut states = ep.states;
@@ -532,7 +590,7 @@ pub fn rl_search_vec_with_stats(
                     state: std::mem::take(&mut states[k]),
                     next_state: states[k + 1].clone(),
                     action: ep.actions[k],
-                    reward: ep.reward,
+                    reward,
                     done: k + 1 == n,
                 });
             }
@@ -810,6 +868,50 @@ mod tests {
             outcome.best_rue(),
             homo.rue()
         );
+    }
+
+    #[test]
+    fn noise_penalty_deflates_rewards_without_changing_exploration() {
+        // Warm-up actions are reward-independent, so the penalized search
+        // visits the same early configurations but records strictly
+        // smaller rewards for them; the whole run stays deterministic.
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        let base = rl_search(&m, &cands, &cfg, &quick_cfg(5, 12));
+        let pcfg = RlSearchConfig {
+            noise_penalty: 5.0,
+            ..quick_cfg(5, 12)
+        };
+        let pen = rl_search(&m, &cands, &cfg, &pcfg);
+        let warmup = pcfg.warmup_episodes.min(pcfg.episodes / 3);
+        for e in 0..warmup {
+            assert_eq!(base.history[e].rue, pen.history[e].rue, "episode {e}");
+            assert!(
+                pen.history[e].reward < base.history[e].reward,
+                "episode {e}: {} !< {}",
+                pen.history[e].reward,
+                base.history[e].reward
+            );
+        }
+        let again = rl_search(&m, &cands, &cfg, &pcfg);
+        assert_eq!(outcome_bits(&pen), outcome_bits(&again));
+    }
+
+    #[test]
+    fn noise_penalized_vec_search_single_lane_is_bit_identical() {
+        let m = zoo::micro_cnn();
+        let cands = paper_hybrid_candidates();
+        let cfg = AccelConfig::default();
+        let scfg = RlSearchConfig {
+            noise_penalty: 2.0,
+            ..quick_cfg(7, 18)
+        };
+        let seq = rl_search(&m, &cands, &cfg, &scfg);
+        let vec1 = rl_search_vec(&m, &cands, &cfg, &scfg, 1);
+        assert_eq!(outcome_bits(&seq), outcome_bits(&vec1));
+        assert_eq!(seq.best_strategy, vec1.best_strategy);
+        assert_eq!(seq.best_report, vec1.best_report);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   DESIGN.md §7), serves the degraded deployment under replica-failure
 //!   events scaled with the fault rate, and reports how fidelity, energy,
 //!   and SLO attainment decay end to end.
+//! - [`lifetime_campaign`]: the paper evaluates hardware at deploy time
+//!   only; this campaign ages each deployment along a seeded conductance-
+//!   drift trajectory (DESIGN.md §12), evaluates it at a lifetime epoch
+//!   under three recovery arms (no recovery, recalibrate-only, the full
+//!   detect → recalibrate → remap cascade), serves the epoch hardware
+//!   with the matching online drift process, and reports whether the full
+//!   cascade retains strictly better SLO attainment and accuracy than
+//!   running unprotected.
 //! - [`search_throughput_study`]: the paper quotes 49.2 min for a
 //!   300-round search (§4.5) but never varies the search driver itself;
 //!   this study scales the vectorized driver's lane count and reports
@@ -43,13 +51,17 @@ use crate::search::greedy::{greedy_layerwise_rue, greedy_layerwise_rue_with_engi
 use autohet_accel::alloc::allocate_tile_based;
 use autohet_accel::tile_shared::{apply_tile_sharing, share_across_models};
 use autohet_accel::{
-    evaluate, AccelConfig, EvalEngine, NoiseEvalConfig, NoisyEvalReport, RepairPolicy,
+    evaluate, AccelConfig, DriftEvalConfig, EvalEngine, NoiseEvalConfig, NoisyEvalReport,
+    RecoveryPolicy, RepairPolicy,
 };
 use autohet_dnn::{LayerKind, Model};
-use autohet_serve::{run_serving, Deployment, FailureSpec, ServeConfig, TenantSpec, Workload};
+use autohet_serve::{
+    run_serving, Deployment, FailureSpec, HealthSpec, ServeConfig, TenantSpec, Workload,
+};
 use autohet_xbar::fault::FaultRates;
 use autohet_xbar::geometry::paper_hybrid_candidates;
 use autohet_xbar::utilization::footprint;
+use autohet_xbar::DriftModel;
 use autohet_xbar::XbarShape;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -477,6 +489,291 @@ pub fn fault_campaign(model: &Model, cfg: &FaultCampaignConfig) -> FaultCampaign
     }
 }
 
+/// Parameters of a [`lifetime_campaign`] run. Everything downstream —
+/// drift trajectories, fault snapshots, drift errors, arrivals — derives
+/// from `seed`, so a campaign is a pure function of this struct and the
+/// model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeCampaignConfig {
+    /// Drift-rate scales to sweep, as multiples of the nominal corner
+    /// (include 0.0 for the drift-free baseline; scale 0 also disables
+    /// the serving drift process).
+    pub drift_scales: Vec<f64>,
+    /// Lifetime epoch the hardware is evaluated at [simulated hours].
+    pub epoch_hours: f64,
+    /// Master seed for fault snapshots, drift errors, and arrivals.
+    pub seed: u64,
+    /// Offered load as a fraction of the slowest *healthy* deployment's
+    /// single-replica capacity (identical across all rows).
+    pub load: f64,
+    /// Approximate request count per serving run (sets the horizon).
+    pub requests: f64,
+    /// Spare crossbars provisioned per tile for the full cascade.
+    pub spares_per_tile: u32,
+    /// Accelerator replicas behind each deployment.
+    pub replicas: usize,
+    /// Monte-Carlo draws per (layer, shape, epoch) robustness slice.
+    pub draws: u32,
+    /// Probe activations per draw.
+    pub probes: u32,
+}
+
+impl Default for LifetimeCampaignConfig {
+    fn default() -> Self {
+        LifetimeCampaignConfig {
+            drift_scales: vec![0.0, 0.5, 1.0, 2.0, 4.0],
+            epoch_hours: 3_000.0,
+            seed: 7,
+            load: 0.6,
+            requests: 1_000.0,
+            spares_per_tile: 1,
+            replicas: 2,
+            draws: 3,
+            probes: 4,
+        }
+    }
+}
+
+/// One (deployment configuration, drift scale, recovery policy) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeRow {
+    /// `"<strategy>/<allocation>"`, e.g. `"autohet/tile-shared"`.
+    pub label: String,
+    /// Drift-rate scale of this cell (multiple of the nominal corner).
+    pub drift_scale: f64,
+    /// Recovery-policy label (`"no-recovery"`, `"recalibrate-only"`,
+    /// `"full-cascade"`).
+    pub policy: String,
+    /// Lifetime epoch the hardware was evaluated at [hours].
+    pub t_hours: f64,
+    /// Crossbar-weighted hard-fault fidelity after the cascade.
+    pub fidelity: f64,
+    /// Hardware accuracy proxy at the epoch (fidelity × argmax survival).
+    pub hw_accuracy_proxy: f64,
+    /// Mean normalized output deviation under the drifted population.
+    pub noise_dev: f64,
+    /// Dead occupied slots absorbed by spare activation.
+    pub spared: u64,
+    /// Dead occupied slots remapped onto surviving crossbars.
+    pub remapped: u64,
+    /// Dead occupied slots the cascade could only degrade around.
+    pub degraded: u64,
+    /// Whole-model inference energy on the epoch hardware [nJ].
+    pub energy_nj: f64,
+    /// Single-sample latency on the epoch hardware [ns].
+    pub latency_ns: f64,
+    /// Requests offered (identical across rows by construction).
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Completed requests with drift-corrupted results.
+    pub errored: u64,
+    /// Fraction of offered requests completed cleanly within the SLO.
+    pub slo_attainment: f64,
+    /// 99th-percentile request latency [ns].
+    pub p99_ns: u64,
+    /// Fraction of completed requests with clean results.
+    pub clean_fraction: f64,
+    /// Circuit-breaker trips across the replica fleet.
+    pub trips: u64,
+    /// Successful online recalibrations.
+    pub recals: u64,
+    /// Remap escalations.
+    pub remaps: u64,
+    /// Fleet time spent paused in recovery [ns].
+    pub recovery_ns: u64,
+    /// End-to-end accuracy: the hardware proxy × the serving clean
+    /// fraction — the campaign's headline accuracy axis.
+    pub accuracy: f64,
+}
+
+/// Outcome of a full lifetime-resilience campaign on one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeCampaignReport {
+    /// Model swept.
+    pub model: String,
+    /// Campaign parameters.
+    pub config: LifetimeCampaignConfig,
+    /// One row per (configuration × drift scale × recovery policy),
+    /// grouped by configuration, then scale, then policy escalation
+    /// order.
+    pub rows: Vec<LifetimeRow>,
+}
+
+impl LifetimeCampaignReport {
+    /// The rows of one deployment configuration, in sweep order.
+    pub fn rows_for(&self, label: &str) -> Vec<&LifetimeRow> {
+        self.rows.iter().filter(|r| r.label == label).collect()
+    }
+
+    /// The rows of one (configuration, recovery policy), in drift-scale
+    /// order.
+    pub fn policy_rows(&self, label: &str, policy: RecoveryPolicy) -> Vec<&LifetimeRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.label == label && r.policy == policy.label())
+            .collect()
+    }
+
+    /// Distinct configuration labels, in declaration order.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.label.as_str()) {
+                seen.push(r.label.as_str());
+            }
+        }
+        seen
+    }
+
+    /// The campaign's acceptance headline: at *every* nonzero drift
+    /// scale of *every* configuration, the full detect → recalibrate →
+    /// remap cascade retains strictly higher SLO attainment and strictly
+    /// higher end-to-end accuracy than running with no recovery at all.
+    pub fn full_cascade_dominates(&self) -> bool {
+        self.labels().iter().all(|label| {
+            let no = self.policy_rows(label, RecoveryPolicy::NoRecovery);
+            let full = self.policy_rows(label, RecoveryPolicy::FullCascade);
+            no.iter().zip(&full).all(|(n, f)| {
+                debug_assert_eq!(n.drift_scale, f.drift_scale);
+                n.drift_scale == 0.0
+                    || (f.slo_attainment > n.slo_attainment && f.accuracy > n.accuracy)
+            })
+        })
+    }
+}
+
+/// Serving drift process for one campaign cell: the error growth scales
+/// with the cell's drift rate, the breaker/remap knobs follow the
+/// recovery policy, and a drift-free cell runs without health modeling
+/// (all policies coincide there by construction).
+fn campaign_health(seed: u64, scale: f64, policy: RecoveryPolicy) -> Option<HealthSpec> {
+    (scale > 0.0).then(|| HealthSpec {
+        err_ppm_per_ms: (6_000.0 * scale) as u64,
+        // A threshold above 1000 milli can never be reached: the
+        // no-recovery arm monitors nothing and never pauses.
+        trip_milli: if policy.recalibrates() { 60 } else { 1001 },
+        remap: policy.repairs(),
+        seed: seed ^ 0xD21F7,
+        ..HealthSpec::default()
+    })
+}
+
+/// Sweep drift-rate scale × {homogeneous/tile-based, autohet/tile-shared}
+/// deployment × recovery policy at a fixed lifetime epoch, end to end:
+///
+/// 1. each configuration's hardware is evaluated at hour `epoch_hours`
+///    of a nominal drift trajectory scaled by the cell's rate
+///    ([`EvalEngine::evaluate_degraded`]) under the cell's recovery arm —
+///    stale references and degrade-only repair for no-recovery,
+///    re-derived references for the recalibrating arms, spares + remap
+///    for the full cascade;
+/// 2. the epoch hardware is served under the *identical* seeded request
+///    stream with the online drift process scaled to the cell's rate and
+///    the health monitor armed per policy;
+/// 3. each cell reports the cascade accounting, epoch cost, serving
+///    outcome, and the combined accuracy axis.
+///
+/// Cells are evaluated with [`par_map`]; the report is bit-identical to
+/// a sequential sweep because every cell is independent and seeded.
+pub fn lifetime_campaign(model: &Model, cfg: &LifetimeCampaignConfig) -> LifetimeCampaignReport {
+    let _span = autohet_obs::trace::span("study.lifetime_campaign");
+    assert!(cfg.load > 0.0, "load must be positive");
+    assert!(!cfg.drift_scales.is_empty(), "empty drift-scale sweep");
+    assert!(cfg.replicas >= 1, "need at least one replica");
+    let base = AccelConfig::default();
+    let shared = base.with_tile_sharing();
+    let (homo_shape, _) = best_homogeneous(model, &base);
+    let homo = vec![homo_shape; model.layers.len()];
+    let het = greedy_layerwise_rue(model, &paper_hybrid_candidates(), &base).strategy;
+    let configs: [(&str, &[XbarShape], &AccelConfig); 2] = [
+        ("homogeneous/tile-based", &homo, &base),
+        ("autohet/tile-shared", &het, &shared),
+    ];
+    let healthy: Vec<Deployment> = configs
+        .iter()
+        .map(|(label, strategy, c)| Deployment::compile(label, model, strategy, c))
+        .collect();
+    // Identical load for every cell: rate pinned to the slowest healthy
+    // deployment, SLO to the slowest healthy fill.
+    let floor_rps = healthy
+        .iter()
+        .map(Deployment::max_rate_rps)
+        .fold(f64::MAX, f64::min);
+    let slowest_fill = healthy
+        .iter()
+        .map(|d| d.pipeline.fill_ns)
+        .fold(0.0, f64::max);
+    let rate = cfg.load * floor_rps;
+    let slo_ns = (6.0 * slowest_fill) as u64;
+    let wl = Workload {
+        seed: cfg.seed,
+        horizon_ns: (cfg.requests / rate * 1e9) as u64,
+    };
+    let cells: Vec<(usize, f64)> = (0..configs.len())
+        .flat_map(|c| cfg.drift_scales.iter().map(move |&s| (c, s)))
+        .collect();
+    let groups = par_map(&cells, |&(c, scale)| {
+        let _cell = autohet_obs::trace::span("study.lifetime_cell");
+        // One drift-aware engine per (configuration, scale): the three
+        // policy arms share its epoch memo, and each cell stays an
+        // independent, seeded computation.
+        let engine = EvalEngine::new(model.clone(), *configs[c].2).with_drift(DriftEvalConfig {
+            drift: DriftModel::nominal().with_rate_scale(scale),
+            draws: cfg.draws,
+            probes: cfg.probes,
+            spares_per_tile: cfg.spares_per_tile,
+            ..DriftEvalConfig::default()
+        });
+        RecoveryPolicy::ALL
+            .iter()
+            .map(|&policy| {
+                let deg = engine.evaluate_degraded(configs[c].1, cfg.epoch_hours, policy);
+                let deployment = healthy[c].with_degraded(&deg);
+                let tenant = TenantSpec::new(configs[c].0, deployment, rate, slo_ns);
+                let serve = ServeConfig {
+                    replicas: cfg.replicas,
+                    queue_depth: 32,
+                    health: campaign_health(cfg.seed, scale, policy),
+                    ..ServeConfig::default()
+                };
+                let report = run_serving(&[tenant], &wl, &serve);
+                let t = &report.tenants[0];
+                LifetimeRow {
+                    label: configs[c].0.to_string(),
+                    drift_scale: scale,
+                    policy: policy.label().to_string(),
+                    t_hours: cfg.epoch_hours,
+                    fidelity: deg.fidelity,
+                    hw_accuracy_proxy: deg.accuracy_proxy,
+                    noise_dev: deg.robustness.mean_dev,
+                    spared: deg.repair.spared,
+                    remapped: deg.repair.remapped,
+                    degraded: deg.repair.degraded,
+                    energy_nj: deg.eval.energy_nj(),
+                    latency_ns: deg.eval.latency_ns,
+                    submitted: t.submitted,
+                    completed: t.completed,
+                    errored: t.errored,
+                    slo_attainment: t.slo_attainment,
+                    p99_ns: t.p99_ns,
+                    clean_fraction: report.clean_fraction(),
+                    trips: report.replica_trips.iter().sum(),
+                    recals: report.replica_recals.iter().sum(),
+                    remaps: report.replica_remaps.iter().sum(),
+                    recovery_ns: report.replica_recovery_ns.iter().sum(),
+                    accuracy: deg.accuracy_proxy * report.clean_fraction(),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    LifetimeCampaignReport {
+        model: model.name.clone(),
+        config: cfg.clone(),
+        rows: groups.into_iter().flatten().collect(),
+    }
+}
+
 /// One lane-count point of [`search_throughput_study`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputRow {
@@ -825,6 +1122,103 @@ mod tests {
             assert_eq!(row.spared + row.remapped + row.degraded, 0);
             assert_eq!(row.failed, 0);
             assert_eq!(row.degraded_completed, 0);
+        }
+    }
+
+    fn small_lifetime() -> LifetimeCampaignConfig {
+        LifetimeCampaignConfig {
+            drift_scales: vec![0.0, 1.0, 4.0],
+            epoch_hours: 3_000.0,
+            seed: 11,
+            load: 0.6,
+            requests: 400.0,
+            spares_per_tile: 1,
+            replicas: 2,
+            draws: 2,
+            probes: 2,
+        }
+    }
+
+    #[test]
+    fn lifetime_campaign_is_deterministic_and_complete() {
+        let m = zoo::micro_cnn();
+        let cfg = small_lifetime();
+        let a = lifetime_campaign(&m, &cfg);
+        let b = lifetime_campaign(&m, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the campaign bit-exactly");
+        assert_eq!(a.rows.len(), 2 * cfg.drift_scales.len() * 3);
+        assert_eq!(a.labels().len(), 2);
+        // Identical offered load in every cell.
+        assert!(a.rows.iter().all(|r| r.submitted == a.rows[0].submitted));
+        for label in a.labels() {
+            for policy in RecoveryPolicy::ALL {
+                assert_eq!(
+                    a.policy_rows(label, policy).len(),
+                    cfg.drift_scales.len(),
+                    "{label}/{}",
+                    policy.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifetime_campaign_drift_free_cells_are_policy_invariant() {
+        let m = zoo::micro_cnn();
+        let r = lifetime_campaign(&m, &small_lifetime());
+        for label in r.labels() {
+            let zero: Vec<_> = r
+                .rows_for(label)
+                .into_iter()
+                .filter(|row| row.drift_scale == 0.0)
+                .collect();
+            assert_eq!(zero.len(), 3);
+            for row in &zero {
+                assert_eq!(row.fidelity, 1.0, "{label}/{}", row.policy);
+                assert_eq!(row.errored, 0);
+                assert_eq!(row.trips, 0);
+                assert_eq!(row.clean_fraction, 1.0);
+                // The serving half is identical across arms at scale 0.
+                assert_eq!(row.slo_attainment, zero[0].slo_attainment);
+                assert_eq!(row.accuracy, zero[0].accuracy);
+            }
+        }
+    }
+
+    #[test]
+    fn lifetime_campaign_full_cascade_beats_no_recovery_everywhere() {
+        // The PR's acceptance bar: strictly higher SLO attainment AND
+        // strictly higher end-to-end accuracy at every nonzero drift
+        // rate, for every deployment configuration, under a fixed seed.
+        let m = zoo::micro_cnn();
+        let r = lifetime_campaign(&m, &small_lifetime());
+        assert!(r.full_cascade_dominates());
+        for label in r.labels() {
+            let no = r.policy_rows(label, RecoveryPolicy::NoRecovery);
+            let full = r.policy_rows(label, RecoveryPolicy::FullCascade);
+            for (n, f) in no.iter().zip(&full).filter(|(n, _)| n.drift_scale > 0.0) {
+                assert!(
+                    f.slo_attainment > n.slo_attainment,
+                    "{label} scale {}: SLO {} vs {}",
+                    n.drift_scale,
+                    f.slo_attainment,
+                    n.slo_attainment
+                );
+                assert!(
+                    f.accuracy > n.accuracy,
+                    "{label} scale {}: accuracy {} vs {}",
+                    n.drift_scale,
+                    f.accuracy,
+                    n.accuracy
+                );
+                // The cascade actually ran: recoveries happened online.
+                assert!(f.trips > 0, "{label} scale {}", n.drift_scale);
+                assert!(f.recals + f.remaps > 0);
+                assert_eq!(n.trips, 0, "no-recovery must never trip");
+                assert_eq!(n.recals + n.remaps, 0);
+                // And the stale readout is measurably noisier.
+                assert!(n.noise_dev >= f.noise_dev);
+            }
         }
     }
 

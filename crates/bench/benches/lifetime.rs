@@ -1,0 +1,97 @@
+//! Lifetime-degradation benchmarks (DESIGN.md §12): the drift snapshot
+//! itself, one epoch of `evaluate_degraded` cold vs. warm (the regime a
+//! lifetime campaign sweeps in), and the recovery-arm spread at a fixed
+//! epoch.
+
+use autohet_accel::{AccelConfig, DriftEvalConfig, EvalEngine, RecoveryPolicy};
+use autohet_xbar::{DriftModel, XbarShape};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn drift_engine(model: &autohet_dnn::Model) -> EvalEngine {
+    EvalEngine::new(model.clone(), AccelConfig::default().with_tile_sharing()).with_drift(
+        DriftEvalConfig {
+            drift: DriftModel::fast(),
+            draws: 2,
+            probes: 2,
+            ..DriftEvalConfig::default()
+        },
+    )
+}
+
+/// Sampling the fault snapshot at an epoch: the nested-in-time rolls over
+/// every tile's components — the once-per-epoch setup the degraded
+/// evaluator pays before repair.
+fn bench_snapshot(c: &mut Criterion) {
+    let drift = DriftModel::fast();
+    let caps = vec![16u32; 64];
+    let mut g = c.benchmark_group("lifetime/snapshot");
+    g.throughput(Throughput::Elements(64 * 16));
+    let mut t = 0.0f64;
+    g.bench_function("64x16_epoch", |b| {
+        b.iter(|| {
+            t += 1.0;
+            black_box(drift.snapshot_at(black_box(t), &caps, 1))
+        })
+    });
+    g.finish();
+}
+
+/// One lifetime epoch end to end on micro_cnn: cold pays the repair
+/// cascade plus the per-(layer, shape, epoch) Monte-Carlo once, warm
+/// replays the epoch from the memo — a campaign revisiting an epoch for
+/// another recovery arm runs warm on the noise slices.
+fn bench_degraded_eval(c: &mut Criterion) {
+    let model = autohet_dnn::zoo::micro_cnn();
+    let strategy = vec![XbarShape::new(72, 64); model.layers.len()];
+    let mut g = c.benchmark_group("lifetime/degraded_eval");
+    g.sample_size(10);
+    g.bench_function("micro_cnn_cold", |b| {
+        b.iter(|| {
+            let engine = drift_engine(&model);
+            black_box(engine.evaluate_degraded(
+                black_box(&strategy),
+                5_000.0,
+                RecoveryPolicy::FullCascade,
+            ))
+        })
+    });
+    let engine = drift_engine(&model);
+    engine.evaluate_degraded(&strategy, 5_000.0, RecoveryPolicy::FullCascade);
+    g.bench_function("micro_cnn_warm", |b| {
+        b.iter(|| {
+            black_box(engine.evaluate_degraded(
+                black_box(&strategy),
+                5_000.0,
+                RecoveryPolicy::FullCascade,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// The three recovery arms at one epoch on a warm engine: what a
+/// campaign cell pays per arm after the epoch's slices are memoized.
+fn bench_recovery_arms(c: &mut Criterion) {
+    let model = autohet_dnn::zoo::micro_cnn();
+    let strategy = vec![XbarShape::new(72, 64); model.layers.len()];
+    let engine = drift_engine(&model);
+    for policy in RecoveryPolicy::ALL {
+        engine.evaluate_degraded(&strategy, 5_000.0, policy);
+    }
+    let mut g = c.benchmark_group("lifetime/recovery_arm");
+    g.sample_size(10);
+    for policy in RecoveryPolicy::ALL {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| black_box(engine.evaluate_degraded(black_box(&strategy), 5_000.0, policy)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_snapshot, bench_degraded_eval, bench_recovery_arms
+}
+criterion_main!(benches);

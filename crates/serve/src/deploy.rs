@@ -3,8 +3,8 @@
 //! energy — plus the full reports for observability.
 
 use autohet_accel::{
-    evaluate, pipeline_report, AccelConfig, EvalEngine, EvalReport, FaultedEvalReport,
-    PipelineReport,
+    evaluate, pipeline_report, AccelConfig, DegradedEvalReport, EvalEngine, EvalReport,
+    FaultedEvalReport, PipelineReport, RepairReport,
 };
 use autohet_dnn::Model;
 use autohet_xbar::XbarShape;
@@ -57,12 +57,25 @@ impl Deployment {
     /// damaged hardware. An ideal fault map leaves the pipeline
     /// untouched (spare provisioning may still change area).
     pub fn with_degradation(&self, faulted: &FaultedEvalReport) -> Self {
+        self.stretched("faults", &faulted.repair, &faulted.eval)
+    }
+
+    /// [`Self::with_degradation`] for a lifetime-epoch evaluation
+    /// ([`EvalEngine::evaluate_degraded`](autohet_accel::EvalEngine::evaluate_degraded)):
+    /// the pipeline is stretched by the epoch's repair outcome and the
+    /// energy/area half replaced by the epoch evaluation, so serving runs
+    /// on the hardware as it stands at hour `t` of its life.
+    pub fn with_degraded(&self, epoch: &DegradedEvalReport) -> Self {
+        self.stretched("drift", &epoch.repair, &epoch.eval)
+    }
+
+    fn stretched(&self, suffix: &str, repair: &RepairReport, eval: &EvalReport) -> Self {
         let stage_ns: Vec<f64> = self
             .pipeline
             .stage_ns
             .iter()
             .enumerate()
-            .map(|(i, &s)| s * faulted.repair.latency_factor(i))
+            .map(|(i, &s)| s * repair.latency_factor(i))
             .collect();
         let (bottleneck_layer, &bottleneck_ns) = stage_ns
             .iter()
@@ -70,14 +83,14 @@ impl Deployment {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .expect("non-empty pipeline");
         Deployment {
-            name: format!("{}+faults", self.name),
+            name: format!("{}+{suffix}", self.name),
             pipeline: PipelineReport {
                 fill_ns: stage_ns.iter().sum(),
                 bottleneck_layer,
                 bottleneck_ns,
                 stage_ns,
             },
-            eval: faulted.eval.clone(),
+            eval: eval.clone(),
         }
     }
 

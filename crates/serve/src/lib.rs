@@ -37,6 +37,14 @@
 //!   arrival — unless their retry deadline has passed, in which case they
 //!   count as failed. Completed requests that survived a kill are
 //!   reported per tenant as `degraded_completed`.
+//! - **Drift & recovery** (optional): with a [`HealthSpec`] configured,
+//!   each replica accumulates conductance drift — per-request result
+//!   corruption whose probability grows with the time since the last
+//!   recalibration. An online monitor EWMAs each replica's batch error
+//!   fraction and trips a circuit breaker, taking the replica through
+//!   bounded recalibration retries (exponential backoff) and an optional
+//!   remap escalation while load sheds to the healthy replicas. Errored
+//!   completions are reported per tenant and count as SLO violations.
 //!
 //! ## Determinism
 //!
@@ -67,5 +75,5 @@ pub use deploy::Deployment;
 pub use failure::{FailurePlan, FailureSpec, Outage};
 pub use parallel::run_serving_parallel;
 pub use report::{LatencyHistogram, ServingReport, TenantStats, WindowStats};
-pub use sim::{run_serving, ServeConfig};
+pub use sim::{run_serving, HealthSpec, ServeConfig};
 pub use workload::{merge_arrivals, tenant_arrivals, Arrival, BurstSpec, TenantSpec, Workload};

@@ -111,12 +111,18 @@ pub fn run_serving_parallel(
                                 parked.notify_all();
                             }
                             None => {
-                                guard.free[w] = completion;
+                                // Health effects mutate shared state and
+                                // the replica's free time, so they run
+                                // under the lock at the same recurrence
+                                // point as the single-threaded driver.
+                                let (errored, next_free) =
+                                    guard.core.apply_health(w, &job, completion);
+                                guard.free[w] = next_free;
                                 parked.notify_all();
                                 drop(guard);
                                 // Out-of-lock work: fold the batch into
                                 // this worker's local results.
-                                mine.push(finish_batch(spec, job, completion));
+                                mine.push(finish_batch(spec, job, completion, errored));
                                 guard = shared.lock();
                             }
                         }
@@ -223,6 +229,49 @@ mod tests {
             );
             assert_eq!(single, multi, "replicas={replicas}");
         }
+    }
+
+    #[test]
+    fn parallel_matches_single_threaded_under_drift_and_recovery() {
+        let tenants = mixed_tenants();
+        let wl = Workload {
+            seed: 55,
+            horizon_ns: 40_000_000,
+        };
+        for replicas in [1usize, 2, 3, 4] {
+            let cfg = ServeConfig {
+                replicas,
+                health: Some(crate::sim::HealthSpec {
+                    err_ppm_per_ms: 30_000,
+                    ..Default::default()
+                }),
+                ..ServeConfig::default()
+            };
+            let single = run_serving(&tenants, &wl, &cfg);
+            let multi = run_serving_parallel(&tenants, &wl, &cfg);
+            assert!(
+                single.total_errored > 0 && single.replica_trips.iter().sum::<u64>() > 0,
+                "drift config too tame to exercise the recovery path"
+            );
+            assert_eq!(single, multi, "replicas={replicas}");
+        }
+        // Drift, hard failures, and recovery all at once.
+        let cfg = ServeConfig {
+            replicas: 3,
+            health: Some(crate::sim::HealthSpec {
+                err_ppm_per_ms: 30_000,
+                ..Default::default()
+            }),
+            failures: Some(crate::failure::FailureSpec {
+                mtbf_ns: 3_000_000,
+                mttr_ns: 500_000,
+                seed: 13,
+            }),
+            ..ServeConfig::default()
+        };
+        let single = run_serving(&tenants, &wl, &cfg);
+        let multi = run_serving_parallel(&tenants, &wl, &cfg);
+        assert_eq!(single, multi);
     }
 
     #[test]

@@ -83,6 +83,11 @@ pub struct TenantStats {
     /// Completed requests that survived at least one instance failure —
     /// served, but through the degraded (retry) path.
     pub degraded_completed: u64,
+    /// Completed requests whose result was corrupted by conductance
+    /// drift (see [`HealthSpec`](crate::sim::HealthSpec)); they count as
+    /// SLO violations.
+    #[serde(default)]
+    pub errored: u64,
     /// Batches killed mid-service by an instance failure.
     pub killed_batches: u64,
     /// Batches dispatched for this tenant (completed ones only).
@@ -99,8 +104,9 @@ pub struct TenantStats {
     pub mean_ns: f64,
     /// The tenant's latency objective [ns].
     pub slo_ns: u64,
-    /// Fraction of *submitted* requests completed within the SLO (shed
-    /// requests count as violations); 1.0 for an idle tenant.
+    /// Fraction of *submitted* requests completed within the SLO (shed,
+    /// failed, and drift-errored requests count as violations); 1.0 for
+    /// an idle tenant.
     pub slo_attainment: f64,
     /// Completed requests per second of virtual time.
     pub throughput_rps: f64,
@@ -180,8 +186,23 @@ pub struct ServingReport {
     pub total_failed: u64,
     /// Retry events across all tenants.
     pub total_retried: u64,
+    /// Drift-errored completions across all tenants.
+    #[serde(default)]
+    pub total_errored: u64,
     /// Per-replica downtime within `[0, makespan_ns)` [ns].
     pub replica_downtime_ns: Vec<u64>,
+    /// Per-replica circuit-breaker trips (health monitoring).
+    #[serde(default)]
+    pub replica_trips: Vec<u64>,
+    /// Per-replica successful online recalibrations.
+    #[serde(default)]
+    pub replica_recals: Vec<u64>,
+    /// Per-replica remap escalations.
+    #[serde(default)]
+    pub replica_remaps: Vec<u64>,
+    /// Per-replica time spent paused in drift recovery [ns].
+    #[serde(default)]
+    pub replica_recovery_ns: Vec<u64>,
     /// Total inference energy [nJ].
     pub total_energy_nj: f64,
     /// Completed requests per second of virtual time, all tenants.
@@ -195,6 +216,17 @@ pub struct ServingReport {
 }
 
 impl ServingReport {
+    /// Fraction of completed requests whose results were clean (not
+    /// drift-errored); 1.0 when nothing completed. The serving factor of
+    /// the lifetime campaign's accuracy axis.
+    pub fn clean_fraction(&self) -> f64 {
+        if self.total_completed == 0 {
+            1.0
+        } else {
+            (self.total_completed - self.total_errored) as f64 / self.total_completed as f64
+        }
+    }
+
     /// The whole run's latency distribution: every tenant's histogram
     /// merged into one.
     pub fn overall_histogram(&self) -> LatencyHistogram {
@@ -233,6 +265,8 @@ pub(crate) fn assemble_report(
     let mut energy = vec![0.0f64; n];
     let mut tenant_batches = vec![0u64; n];
     let mut degraded = vec![0u64; n];
+    let mut errored = vec![0u64; n];
+    let mut met = vec![0u64; n];
     let mut makespan = wl.horizon_ns;
     let mut total_requests = 0u64;
     for (i, b) in batches.iter().enumerate() {
@@ -242,12 +276,19 @@ pub(crate) fn assemble_report(
             i == 0 || batches[i - 1].index < b.index,
             "batch stream must be index-ordered"
         );
-        for r in &b.requests {
+        for (ri, r) in b.requests.iter().enumerate() {
             let l = b.completion_ns - r.arrival_ns;
             latencies[b.tenant].push(l);
             hist[b.tenant].record(l);
             if r.retries > 0 {
                 degraded[b.tenant] += 1;
+            }
+            let err = b.errored.get(ri).copied().unwrap_or(false);
+            if err {
+                errored[b.tenant] += 1;
+            }
+            if l <= tenants[b.tenant].slo_ns && !err {
+                met[b.tenant] += 1;
             }
         }
         energy[b.tenant] += b.energy_nj;
@@ -261,7 +302,6 @@ pub(crate) fn assemble_report(
             let lat = &mut latencies[t];
             lat.sort_unstable();
             let completed = lat.len() as u64;
-            let met = lat.iter().filter(|&&l| l <= tenants[t].slo_ns).count() as u64;
             let submitted = core.submitted[t];
             let sum: u128 = lat.iter().map(|&l| l as u128).sum();
             TenantStats {
@@ -272,6 +312,7 @@ pub(crate) fn assemble_report(
                 failed: core.failed[t],
                 retried: core.retried[t],
                 degraded_completed: degraded[t],
+                errored: errored[t],
                 killed_batches: core.killed_batches[t],
                 batches: tenant_batches[t],
                 p50_ns: percentile(lat, 0.50),
@@ -287,7 +328,7 @@ pub(crate) fn assemble_report(
                 slo_attainment: if submitted == 0 {
                     1.0
                 } else {
-                    met as f64 / submitted as f64
+                    met[t] as f64 / submitted as f64
                 },
                 throughput_rps: if span_s > 0.0 {
                     completed as f64 / span_s
@@ -318,9 +359,14 @@ pub(crate) fn assemble_report(
         total_rejected: stats.iter().map(|s| s.rejected).sum(),
         total_failed: stats.iter().map(|s| s.failed).sum(),
         total_retried: stats.iter().map(|s| s.retried).sum(),
+        total_errored: stats.iter().map(|s| s.errored).sum(),
         replica_downtime_ns: (0..cfg.replicas)
             .map(|r| plan.downtime_ns(r, makespan))
             .collect(),
+        replica_trips: core.health.iter().map(|h| h.trips).collect(),
+        replica_recals: core.health.iter().map(|h| h.recals).collect(),
+        replica_remaps: core.health.iter().map(|h| h.remaps).collect(),
+        replica_recovery_ns: core.health.iter().map(|h| h.recovery_ns).collect(),
         total_energy_nj: energy.iter().sum(),
         aggregate_throughput_rps: if span_s > 0.0 {
             total_completed as f64 / span_s
@@ -357,10 +403,10 @@ fn assemble_windows(
     for b in batches {
         let w = core.window_of(b.completion_ns);
         win_batches[w] += 1;
-        for r in &b.requests {
+        for (ri, r) in b.requests.iter().enumerate() {
             let l = b.completion_ns - r.arrival_ns;
             completed[w] += 1;
-            if l <= tenants[b.tenant].slo_ns {
+            if l <= tenants[b.tenant].slo_ns && !b.errored.get(ri).copied().unwrap_or(false) {
                 met[w] += 1;
             }
             hist[w].record(l);

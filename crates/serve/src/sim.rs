@@ -17,6 +17,119 @@ use crate::workload::{merge_arrivals, Arrival, TenantSpec, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Online replica-health monitoring and drift recovery — the serving half
+/// of the lifetime-resilience layer (DESIGN.md §12).
+///
+/// With a `HealthSpec` configured, every replica carries a drift clock:
+/// the probability that a served request returns a corrupted result grows
+/// linearly with the time since the replica was last recalibrated
+/// (`err_ppm_per_ms`, capped at `err_cap_ppm`). Per-request error
+/// decisions are keyed, order-free rolls on `(seed, replica, batch index,
+/// position)`, so both execution drivers agree bit for bit.
+///
+/// The monitor folds each completed batch's error fraction into a
+/// per-replica EWMA (`ewma_alpha_milli`); when the EWMA reaches
+/// `trip_milli` the circuit breaker trips and the replica goes through
+/// the online recovery cascade *while serving sheds to the healthy
+/// replicas*: up to `max_retries` recalibration attempts (each pausing
+/// the replica `recalibrate_ns` plus an exponentially growing backoff),
+/// then — if `remap` is set — a remap escalation (`remap_ns`) that always
+/// succeeds. A successful recovery resets the drift clock and the EWMA; a
+/// failed one (recalibrate-only arm out of retries) only re-arms the
+/// breaker, so drift keeps eroding accuracy.
+///
+/// All fields are integers so [`ServeConfig`] stays `Copy + Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSpec {
+    /// Per-request error probability growth: ppm per millisecond since
+    /// the replica's last successful recalibration.
+    pub err_ppm_per_ms: u64,
+    /// Ceiling on the per-request error probability [ppm].
+    pub err_cap_ppm: u64,
+    /// EWMA weight on the newest batch's error fraction (1..=1000).
+    pub ewma_alpha_milli: u64,
+    /// Circuit-breaker threshold on the EWMA [milli]; a value above 1000
+    /// can never be reached, disabling recovery entirely.
+    pub trip_milli: u64,
+    /// Replica pause per recalibration attempt [ns].
+    pub recalibrate_ns: u64,
+    /// Per-attempt recalibration success probability [milli].
+    pub recal_success_milli: u64,
+    /// Bounded recalibration attempts per trip.
+    pub max_retries: u32,
+    /// Extra pause before each attempt [ns], doubling per attempt.
+    pub backoff_base_ns: u64,
+    /// Replica pause for the remap escalation [ns].
+    pub remap_ns: u64,
+    /// Escalate to a remap (always succeeds) when retries are exhausted.
+    pub remap: bool,
+    /// Seed of the error/recovery rolls (independent of workload seed).
+    pub seed: u64,
+}
+
+impl Default for HealthSpec {
+    fn default() -> Self {
+        HealthSpec {
+            err_ppm_per_ms: 2_000,
+            err_cap_ppm: 500_000,
+            ewma_alpha_milli: 250,
+            trip_milli: 60,
+            recalibrate_ns: 300_000,
+            recal_success_milli: 800,
+            max_retries: 3,
+            backoff_base_ns: 100_000,
+            remap_ns: 1_500_000,
+            remap: true,
+            seed: 0x4EA1,
+        }
+    }
+}
+
+impl HealthSpec {
+    pub(crate) fn validate(&self) {
+        assert!(
+            (1..=1000).contains(&self.ewma_alpha_milli),
+            "EWMA weight must be in 1..=1000 milli"
+        );
+        assert!(
+            self.recal_success_milli <= 1000,
+            "success probability above 1"
+        );
+        assert!(self.err_cap_ppm <= 1_000_000, "error cap above 1");
+    }
+}
+
+/// Per-replica online health state (all integer, recurrence-ordered, so
+/// both execution drivers evolve it identically).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ReplicaHealth {
+    /// Instant of the last successful recalibration/remap [ns].
+    pub last_recal_ns: u64,
+    /// Error-rate EWMA [milli].
+    pub ewma_milli: u64,
+    /// Circuit-breaker trips.
+    pub trips: u64,
+    /// Successful recalibrations.
+    pub recals: u64,
+    /// Remap escalations.
+    pub remaps: u64,
+    /// Total time spent paused in recovery [ns].
+    pub recovery_ns: u64,
+}
+
+/// Keyed order-free roll (splitmix64-style), the same discipline as the
+/// crossbar fault sampler: a pure function of its keys, so error and
+/// recovery decisions do not depend on evaluation order.
+fn health_roll(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Scheduler knobs for one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -44,6 +157,10 @@ pub struct ServeConfig {
     /// [`WindowStats`]: crate::report::WindowStats
     #[serde(default)]
     pub telemetry_windows: usize,
+    /// Online replica-health monitoring and drift recovery; `None`
+    /// models drift-free replicas (no errors, no breaker).
+    #[serde(default)]
+    pub health: Option<HealthSpec>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +173,7 @@ impl Default for ServeConfig {
             failures: None,
             retry_deadline_ns: 100_000_000,
             telemetry_windows: 0,
+            health: None,
         }
     }
 }
@@ -67,6 +185,9 @@ impl ServeConfig {
         assert!(self.queue_depth >= 1, "need queue space for one request");
         if let Some(f) = &self.failures {
             f.validate();
+        }
+        if let Some(h) = &self.health {
+            h.validate();
         }
     }
 
@@ -109,6 +230,11 @@ pub(crate) struct BatchResult {
     pub tenant: usize,
     pub completion_ns: u64,
     pub requests: Vec<Req>,
+    /// Per-request drift-error flags, parallel to `requests`; empty when
+    /// no request in the batch errored (the canonical all-clean encoding,
+    /// so reports are identical whether health modeling is off or merely
+    /// produced no errors).
+    pub errored: Vec<bool>,
     pub energy_nj: f64,
 }
 
@@ -138,6 +264,11 @@ pub(crate) struct SimCore {
     pub win_rejected: Vec<u64>,
     pub win_depth_area: Vec<u128>,
     pub win_peak_depth: Vec<usize>,
+    // Online health monitoring (inert when `health_spec` is `None`). The
+    // state is per replica but lives here so both execution modes mutate
+    // it at the same point of the scheduling recurrence, under the lock.
+    health_spec: Option<HealthSpec>,
+    pub health: Vec<ReplicaHealth>,
 }
 
 impl SimCore {
@@ -174,7 +305,90 @@ impl SimCore {
             win_rejected: vec![0; n_win],
             win_depth_area: vec![0; n_win],
             win_peak_depth: vec![0; n_win],
+            health_spec: cfg.health,
+            health: vec![ReplicaHealth::default(); cfg.replicas],
         }
+    }
+
+    /// Health bookkeeping for a batch completing on `replica` at
+    /// `completion_ns`: decide the per-request drift errors, fold the
+    /// batch error fraction into the replica's EWMA, and — if the circuit
+    /// breaker trips — run the bounded recalibrate → remap recovery.
+    /// Returns the per-request error flags (empty when all clean) and the
+    /// instant the replica is next free (≥ `completion_ns`; recovery
+    /// pauses extend it, shedding load to the healthy replicas).
+    ///
+    /// Everything here is a pure function of the spec and this replica's
+    /// own completion sequence (error rolls are keyed on batch index and
+    /// position, recovery rolls on the trip count), so both execution
+    /// drivers evolve identical health state.
+    pub fn apply_health(
+        &mut self,
+        replica: usize,
+        job: &BatchJob,
+        completion_ns: u64,
+    ) -> (Vec<bool>, u64) {
+        let Some(spec) = self.health_spec else {
+            return (Vec::new(), completion_ns);
+        };
+        let h = &mut self.health[replica];
+        let elapsed_ns = job.start_ns.saturating_sub(h.last_recal_ns);
+        let p_ppm = ((spec.err_ppm_per_ms as u128 * elapsed_ns as u128) / 1_000_000)
+            .min(spec.err_cap_ppm as u128) as u64;
+        let mut errored = vec![false; job.requests.len()];
+        let mut errors = 0u64;
+        if p_ppm > 0 {
+            for (i, e) in errored.iter_mut().enumerate() {
+                if health_roll(spec.seed, replica as u64, job.index as u64, i as u64) % 1_000_000
+                    < p_ppm
+                {
+                    *e = true;
+                    errors += 1;
+                }
+            }
+        }
+        if errors == 0 {
+            errored = Vec::new();
+        }
+        let batch_milli = errors * 1000 / job.requests.len().max(1) as u64;
+        h.ewma_milli = (spec.ewma_alpha_milli * batch_milli
+            + (1000 - spec.ewma_alpha_milli) * h.ewma_milli)
+            / 1000;
+        if h.ewma_milli < spec.trip_milli {
+            return (errored, completion_ns);
+        }
+        // Circuit breaker: take the replica out of service and recover.
+        h.trips += 1;
+        let mut t = completion_ns;
+        for attempt in 0..spec.max_retries {
+            t += spec.recalibrate_ns + (spec.backoff_base_ns << attempt.min(20));
+            let roll = health_roll(
+                spec.seed ^ 0x5EA1ED,
+                replica as u64,
+                h.trips,
+                attempt as u64,
+            ) % 1000;
+            if roll < spec.recal_success_milli {
+                h.recals += 1;
+                h.last_recal_ns = t;
+                h.ewma_milli = 0;
+                h.recovery_ns += t - completion_ns;
+                return (errored, t);
+            }
+        }
+        if spec.remap {
+            t += spec.remap_ns;
+            h.remaps += 1;
+            h.last_recal_ns = t;
+            h.ewma_milli = 0;
+            h.recovery_ns += t - completion_ns;
+            return (errored, t);
+        }
+        // Out of retries with no remap escalation: the breaker re-arms
+        // but the drift clock keeps running — accuracy keeps eroding.
+        h.ewma_milli = 0;
+        h.recovery_ns += t - completion_ns;
+        (errored, t)
     }
 
     /// Telemetry window containing instant `t` (the last window absorbs
@@ -381,13 +595,19 @@ pub(crate) fn argmin_replica(free: &[u64]) -> usize {
 }
 
 /// Turn a dispatched batch into its completed result.
-pub(crate) fn finish_batch(spec: &TenantSpec, job: BatchJob, completion_ns: u64) -> BatchResult {
+pub(crate) fn finish_batch(
+    spec: &TenantSpec,
+    job: BatchJob,
+    completion_ns: u64,
+    errored: Vec<bool>,
+) -> BatchResult {
     let n = job.requests.len();
     BatchResult {
         index: job.index,
         tenant: job.tenant,
         completion_ns,
         requests: job.requests,
+        errored,
         energy_nj: n as f64 * spec.deployment.energy_per_request_nj(),
     }
 }
@@ -441,8 +661,9 @@ pub fn run_serving(tenants: &[TenantSpec], wl: &Workload, cfg: &ServeConfig) -> 
                 core.requeue(job, o.down_ns, cfg.retry_deadline_ns);
             }
             None => {
-                free[r] = completion;
-                batches.push(finish_batch(spec, job, completion));
+                let (errored, next_free) = core.apply_health(r, &job, completion);
+                free[r] = next_free;
+                batches.push(finish_batch(spec, job, completion, errored));
             }
         }
     }
@@ -686,6 +907,127 @@ mod tests {
         let mk = |seed| ServeConfig {
             replicas: 2,
             failures: Some(flaky(seed)),
+            ..ServeConfig::default()
+        };
+        let a = run_serving(&t, &w, &mk(1));
+        let b = run_serving(&t, &w, &mk(1));
+        let c = run_serving(&t, &w, &mk(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    /// A drift spec strong enough to corrupt results within the short
+    /// test horizons (serving horizons are tens of milliseconds, so the
+    /// per-ms growth must be steep to matter).
+    fn drifting(trip_milli: u64, remap: bool) -> HealthSpec {
+        HealthSpec {
+            err_ppm_per_ms: 30_000,
+            trip_milli,
+            remap,
+            ..HealthSpec::default()
+        }
+    }
+
+    #[test]
+    fn zero_drift_health_is_indistinguishable_from_disabled() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(42, 1_500.0, t[0].rate_rps);
+        let off = run_serving(&t, &w, &ServeConfig::default());
+        let on = run_serving(
+            &t,
+            &w,
+            &ServeConfig {
+                health: Some(HealthSpec {
+                    err_ppm_per_ms: 0,
+                    ..HealthSpec::default()
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(off, on, "a drift-free monitor must not perturb the run");
+    }
+
+    #[test]
+    fn unchecked_drift_erodes_accuracy_and_slo_attainment() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(7, 2_000.0, t[0].rate_rps);
+        let clean = run_serving(&t, &w, &ServeConfig::default());
+        let r = run_serving(
+            &t,
+            &w,
+            &ServeConfig {
+                // Breaker threshold above 1000 milli: can never trip.
+                health: Some(drifting(1001, false)),
+                ..ServeConfig::default()
+            },
+        );
+        let s = &r.tenants[0];
+        assert!(s.errored > 0, "steep drift must corrupt results");
+        assert!(s.errored <= s.completed);
+        assert_eq!(s.completed + s.rejected, s.submitted);
+        assert!(s.slo_attainment < clean.tenants[0].slo_attainment);
+        assert!(r.clean_fraction() < 1.0);
+        assert!(r.replica_trips.iter().all(|&n| n == 0));
+        assert_eq!(r.total_errored, s.errored);
+    }
+
+    #[test]
+    fn recovery_trips_the_breaker_and_restores_accuracy() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(7, 2_000.0, t[0].rate_rps);
+        let cfg = |spec| ServeConfig {
+            health: Some(spec),
+            ..ServeConfig::default()
+        };
+        let unchecked = run_serving(&t, &w, &cfg(drifting(1001, false)));
+        let recovered = run_serving(&t, &w, &cfg(drifting(60, true)));
+        assert!(
+            recovered.replica_trips.iter().sum::<u64>() > 0,
+            "the breaker must trip under steep drift"
+        );
+        let repairs: u64 = recovered.replica_recals.iter().sum::<u64>()
+            + recovered.replica_remaps.iter().sum::<u64>();
+        assert!(repairs > 0, "trips must lead to recoveries");
+        assert!(recovered.replica_recovery_ns.iter().sum::<u64>() > 0);
+        assert!(recovered.total_errored < unchecked.total_errored);
+        assert!(recovered.clean_fraction() > unchecked.clean_fraction());
+        assert!(
+            recovered.tenants[0].slo_attainment > unchecked.tenants[0].slo_attainment,
+            "recovery pauses must cost less than unchecked corruption"
+        );
+    }
+
+    #[test]
+    fn hopeless_recalibration_escalates_to_remap() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(7, 1_500.0, t[0].rate_rps);
+        let r = run_serving(
+            &t,
+            &w,
+            &ServeConfig {
+                health: Some(HealthSpec {
+                    recal_success_milli: 0,
+                    max_retries: 2,
+                    ..drifting(60, true)
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        let trips: u64 = r.replica_trips.iter().sum();
+        assert!(trips > 0);
+        assert_eq!(r.replica_recals.iter().sum::<u64>(), 0);
+        assert_eq!(r.replica_remaps.iter().sum::<u64>(), trips);
+    }
+
+    #[test]
+    fn health_runs_are_deterministic_and_seed_sensitive() {
+        let t = vec![tenant_at_load(0.6, 10.0)];
+        let w = wl(8, 1_000.0, t[0].rate_rps);
+        let mk = |seed| ServeConfig {
+            health: Some(HealthSpec {
+                seed,
+                ..drifting(60, true)
+            }),
             ..ServeConfig::default()
         };
         let a = run_serving(&t, &w, &mk(1));

@@ -27,12 +27,17 @@
 //! - [`fault`]: beyond-paper component-level hard faults (dead crossbars,
 //!   degraded ADCs, spare crossbars) — the seeded [`fault::FaultMap`] the
 //!   accel crate's repair machinery consumes.
+//! - [`drift`]: temporal conductance drift (DESIGN.md §12) — a seeded
+//!   [`drift::DriftModel`] turning variation + hard faults into a
+//!   trajectory over simulated hours, with nested-in-time fault
+//!   snapshots and per-epoch variation models for recalibration.
 
 pub mod adc;
 pub mod area;
 pub mod cost;
 pub mod crossbar;
 pub mod dac;
+pub mod drift;
 pub mod energy;
 pub mod fault;
 pub mod geometry;
@@ -46,6 +51,7 @@ pub mod variation;
 pub use adc::Adc;
 pub use cost::CostParams;
 pub use crossbar::Crossbar;
+pub use drift::DriftModel;
 pub use energy::LayerEnergy;
 pub use fault::{ComponentHealth, FaultMap, FaultRates};
 pub use geometry::XbarShape;

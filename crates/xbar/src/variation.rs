@@ -174,7 +174,36 @@ impl VariedCrossbar {
     /// exact levels: the programmed plane decides LRS (level ≥ 0.5) vs
     /// HRS per cell before resistances are drawn.
     pub fn sample(xb: &Crossbar, model: &VariationModel, seed: u64) -> Self {
-        model.validate();
+        Self::sample_with_reference(xb, model, model, seed)
+    }
+
+    /// Sample a draw whose cell currents follow `device` but whose
+    /// readout resolves against `reference`'s per-unit thresholds.
+    ///
+    /// This is the physical substrate of *recalibration* under
+    /// conductance drift ([`crate::drift::DriftModel`]): a stale readout
+    /// (`device` = drifted population, `reference` = factory model)
+    /// systematically miscounts the shrunken currents, while a
+    /// recalibrated readout (`reference` = the same drifted model)
+    /// restores the per-unit counts. `reference == device` is exactly
+    /// [`VariedCrossbar::sample`], bit for bit — they share one code
+    /// path.
+    ///
+    /// The two models must agree on `s_ou` (recalibration re-derives
+    /// reference currents, it cannot re-partition the wordlines).
+    pub fn sample_with_reference(
+        xb: &Crossbar,
+        device: &VariationModel,
+        reference: &VariationModel,
+        seed: u64,
+    ) -> Self {
+        device.validate();
+        reference.validate();
+        assert_eq!(
+            device.s_ou, reference.s_ou,
+            "device and reference models must share the operation-unit size"
+        );
+        let model = device;
         assert_eq!(xb.cell_bits(), 1, "variation model requires 1-bit cells");
         assert!(
             xb.is_bit_packed(),
@@ -235,14 +264,14 @@ impl VariedCrossbar {
                                 activated += 1;
                             }
                         }
-                        table[idx] |= (model.count(current, activated) as u64) << (8 * b);
+                        table[idx] |= (reference.count(current, activated) as u64) << (8 * b);
                         idx += 1;
                     }
                 }
             }
         }
         VariedCrossbar {
-            model: *model,
+            model: *reference,
             shape,
             weight_bits: xb.weight_bits(),
             rows_used,
@@ -253,7 +282,9 @@ impl VariedCrossbar {
         }
     }
 
-    /// The variation model this draw was sampled under.
+    /// The *reference* model this draw resolves its readout against
+    /// (equal to the device model unless the draw was taken with
+    /// [`VariedCrossbar::sample_with_reference`]).
     pub fn model(&self) -> &VariationModel {
         &self.model
     }
@@ -495,6 +526,60 @@ mod tests {
         // 8 planes · 6 cols · ⌈21/4⌉ = 6 units · 16 patterns.
         assert_eq!(vc.table_bytes(), 8 * 6 * 6 * 16);
         assert_eq!(vc.used(), (21, 6));
+    }
+
+    #[test]
+    fn reference_equal_to_device_matches_sample_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let w = random_block(&mut rng, 24, 12);
+        let xb = Crossbar::program(XbarShape::square(32), &w, 8);
+        let input: Vec<u8> = (0..24).map(|_| rng.gen()).collect();
+        let adc = Adc::new(10);
+        let m = VariationModel::hypermetric();
+        let a = VariedCrossbar::sample(&xb, &m, 17);
+        let b = VariedCrossbar::sample_with_reference(&xb, &m, &m, 17);
+        assert_eq!(a.mvm(&input, &adc), b.mvm(&input, &adc));
+    }
+
+    #[test]
+    fn stale_reference_miscounts_and_recalibration_recovers() {
+        // A drifted population (all resistances grown 40%) read against
+        // the factory reference model systematically under-counts; a
+        // recalibrated reference (the drifted model itself) restores the
+        // readout to the in-family accuracy of an ordinary draw.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let w = random_block(&mut rng, 48, 16);
+        let xb = Crossbar::program(XbarShape::square(64), &w, 8);
+        let input = vec![255u8; 48];
+        let adc = Adc::new(10);
+        let factory = VariationModel::hypermetric();
+        let drifted = VariationModel {
+            r_on: factory.r_on * 1.4,
+            r_off: factory.r_off * 1.4,
+            ..factory
+        };
+        let ideal = {
+            let exact = VariedCrossbar::sample(&xb, &factory.with_deviation_scale(0.0), 0);
+            exact.mvm(&input, &adc)
+        };
+        let err = |out: &[i64]| -> i64 { out.iter().zip(&ideal).map(|(a, b)| (a - b).abs()).sum() };
+        let stale = VariedCrossbar::sample_with_reference(&xb, &drifted, &factory, 17);
+        let recal = VariedCrossbar::sample_with_reference(&xb, &drifted, &drifted, 17);
+        let stale_err = err(&stale.mvm(&input, &adc));
+        let recal_err = err(&recal.mvm(&input, &adc));
+        assert!(
+            stale_err > 4 * recal_err.max(1),
+            "stale readout ({stale_err}) should dwarf recalibrated ({recal_err})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn reference_must_share_unit_size() {
+        let xb = Crossbar::program(XbarShape::square(32), &[vec![1]], 8);
+        let device = VariationModel::hypermetric();
+        let reference = VariationModel { s_ou: 8, ..device };
+        let _ = VariedCrossbar::sample_with_reference(&xb, &device, &reference, 0);
     }
 
     #[test]

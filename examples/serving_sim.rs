@@ -43,6 +43,7 @@ fn main() {
         batch_window_ns: 500_000,
         queue_depth: 48,
         failures: None,
+        health: None,
         retry_deadline_ns: 100_000_000,
         telemetry_windows: 0,
     };

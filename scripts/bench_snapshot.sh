@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Snapshot benchmark groups into BENCH_*.json files:
-#   kernels → BENCH_kernels.json   (substrate micro-benchmarks)
-#   search  → BENCH_search.json    (300-round end-to-end search drivers)
-#   noise   → BENCH_noise.json     (device-variation kernels + MC evaluator)
+#   kernels  → BENCH_kernels.json   (substrate micro-benchmarks)
+#   search   → BENCH_search.json    (300-round end-to-end search drivers)
+#   noise    → BENCH_noise.json     (device-variation kernels + MC evaluator)
+#   lifetime → BENCH_lifetime.json  (drift snapshots + degraded epoch evals)
 #
 # The shared CI box is noisy (throttling plus neighbors), so each snapshot
 # runs its whole bench group REPS times — sequential and vectorized search
@@ -17,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 REPS="${1:-5}"
 shift || true
-if [ $# -eq 0 ]; then BENCHES=(kernels search noise); else BENCHES=("$@"); fi
+if [ $# -eq 0 ]; then BENCHES=(kernels search noise lifetime); else BENCHES=("$@"); fi
 
 snapshot() {
   local bench="$1" out="$2"
@@ -92,6 +93,15 @@ if bench == "noise":
             derived[f"speedup_fast_vs_{other}"] = round(ns / fast, 2)
     snapshot["derived"] = derived
 
+if bench == "lifetime":
+    # The per-epoch memo is the campaign's speed lever: a warm epoch
+    # (revisited for another recovery arm) must be much cheaper than the
+    # cold one that pays the cascade plus the Monte-Carlo slices.
+    cold = best.get("lifetime/degraded_eval/micro_cnn_cold")
+    warm = best.get("lifetime/degraded_eval/micro_cnn_warm")
+    if cold and warm:
+        snapshot["derived"] = {"speedup_warm_vs_cold": round(cold / warm, 2)}
+
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
@@ -105,6 +115,7 @@ for b in "${BENCHES[@]}"; do
     kernels) snapshot kernels BENCH_kernels.json ;;
     search) snapshot search BENCH_search.json ;;
     noise) snapshot noise BENCH_noise.json ;;
-    *) echo "bench_snapshot: unknown bench '$b' (kernels|search|noise)" >&2; exit 1 ;;
+    lifetime) snapshot lifetime BENCH_lifetime.json ;;
+    *) echo "bench_snapshot: unknown bench '$b' (kernels|search|noise|lifetime)" >&2; exit 1 ;;
   esac
 done

@@ -12,6 +12,7 @@ cargo test -q
 cargo bench -p autohet-bench --bench kernels -- --test >/dev/null
 cargo bench -p autohet-bench --bench search -- --test >/dev/null
 cargo bench -p autohet-bench --bench noise -- --test >/dev/null
+cargo bench -p autohet-bench --bench lifetime -- --test >/dev/null
 cargo fmt --check
 # --all-targets lints tests, examples, and benches too, not just lib code.
 cargo clippy --workspace --all-targets -- -D warnings
@@ -37,3 +38,14 @@ for f in nsga_front.csv nsga_front.jsonl metrics.txt summary.txt; do
 done
 grep -q '^picks_differ: true$' target/robustness_smoke/summary.txt \
   || { echo "robustness smoke: noise-robust pick equals the noise-blind winner" >&2; exit 1; }
+
+# Lifetime smoke: the drift × recovery campaign must run end to end, emit
+# its artifacts, and show the full detect → recalibrate → remap cascade
+# strictly dominating no-recovery at every nonzero drift rate (the
+# DESIGN.md §12 acceptance bar).
+cargo run --release -p autohet --example lifetime_study -- --smoke --out target/lifetime_smoke
+for f in rows.csv summary.txt; do
+  [ -s "target/lifetime_smoke/$f" ] || { echo "missing lifetime artifact: $f" >&2; exit 1; }
+done
+grep -q '^full_cascade_beats_no_recovery: true$' target/lifetime_smoke/summary.txt \
+  || { echo "lifetime smoke: full cascade failed to dominate no-recovery" >&2; exit 1; }

@@ -1,0 +1,155 @@
+//! Property-based invariants of the lifetime-degradation cascade
+//! (proptest): displaced-slice conservation through the extended
+//! recalibrate → spare → remap → degrade repair, monotone damage along
+//! the drift trajectory, and the ideal-corner identity — zero drift (or
+//! epoch zero) reproduces the healthy evaluation bit for bit
+//! (DESIGN.md §12).
+
+use autohet::prelude::*;
+use autohet_dnn::{Dataset, ModelBuilder};
+use autohet_xbar::DriftModel;
+use proptest::prelude::*;
+
+/// A small but non-degenerate model for degradation properties.
+fn small_model() -> autohet_dnn::Model {
+    ModelBuilder::new("prop-drift-net", Dataset::Mnist)
+        .conv(8, 3)
+        .conv(16, 3)
+        .fc(64)
+        .fc(10)
+        .build()
+}
+
+fn engine(scale: f64, seed: u64, spares: u32, shared: bool) -> EvalEngine {
+    let cfg = if shared {
+        AccelConfig::default().with_tile_sharing()
+    } else {
+        AccelConfig::default()
+    };
+    let drift = DriftModel {
+        seed,
+        ..DriftModel::nominal().with_rate_scale(scale)
+    };
+    EvalEngine::new(small_model(), cfg).with_drift(DriftEvalConfig {
+        drift,
+        draws: 2,
+        probes: 2,
+        spares_per_tile: spares,
+        ..DriftEvalConfig::default()
+    })
+}
+
+fn any_policy() -> impl Strategy<Value = RecoveryPolicy> {
+    prop_oneof![
+        Just(RecoveryPolicy::NoRecovery),
+        Just(RecoveryPolicy::RecalibrateOnly),
+        Just(RecoveryPolicy::FullCascade),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Conservation through the cascade: every occupied slot displaced by
+    // a drift-killed crossbar is spared, remapped, or degraded away —
+    // nothing vanishes, nothing double-counts — for arbitrary fault
+    // seeds, drift intensities, epochs, and recovery arms.
+    #[test]
+    fn cascade_conserves_displaced_slices(
+        seed in 0u64..1_000_000,
+        scale in 0.0f64..64.0,
+        t in 0.0f64..50_000.0,
+        spares in 0u32..3,
+        policy in any_policy(),
+        shared in any::<bool>(),
+    ) {
+        let eng = engine(scale, seed, spares, shared);
+        let strategy = vec![XbarShape::square(64); eng.model().layers.len()];
+        let d = eng.evaluate_degraded(&strategy, t, policy);
+        prop_assert_eq!(
+            d.repair.spared + d.repair.remapped + d.repair.degraded,
+            d.repair.dead_occupied
+        );
+        // A non-repairing arm never activates spares or remaps.
+        if !policy.repairs() {
+            prop_assert_eq!(d.repair.spared, 0);
+            prop_assert_eq!(d.repair.remapped, 0);
+            prop_assert_eq!(d.repair.degraded, d.repair.dead_occupied);
+        }
+        prop_assert!((0.0..=1.0).contains(&d.fidelity));
+        prop_assert!((0.0..=1.0).contains(&d.accuracy_proxy));
+    }
+
+    // The trajectory is monotone in damage: because stuck sets are
+    // nested in time, a later epoch never has fewer displaced slices and
+    // never a better hard fidelity. Performance is *not* monotone along
+    // the trajectory — the re-serialization fallback can shed slices, so
+    // a heavily-degraded epoch can be cheaper than a mildly-degraded one
+    // — but no degraded epoch ever beats the healthy hardware.
+    #[test]
+    fn damage_is_monotone_along_the_trajectory(
+        seed in 0u64..1_000_000,
+        scale in 0.5f64..16.0,
+        policy in any_policy(),
+        shared in any::<bool>(),
+    ) {
+        let eng = engine(scale, seed, 1, shared);
+        let strategy = vec![XbarShape::square(64); eng.model().layers.len()];
+        let healthy = eng.evaluate(&strategy);
+        let epochs = [0.0, 1_000.0, 5_000.0, 20_000.0];
+        let reports: Vec<_> = epochs
+            .iter()
+            .map(|&t| eng.evaluate_degraded(&strategy, t, policy))
+            .collect();
+        for w in reports.windows(2) {
+            prop_assert!(w[1].repair.dead_occupied >= w[0].repair.dead_occupied);
+            prop_assert!(w[1].fidelity <= w[0].fidelity);
+        }
+        for r in &reports {
+            prop_assert!(r.eval.energy_nj() >= healthy.energy_nj());
+            prop_assert!(r.eval.latency_ns >= healthy.latency_ns);
+        }
+    }
+
+    // The ideal identity: at epoch zero — and at *any* epoch of the
+    // frozen corner — the degraded evaluation reproduces the healthy
+    // evaluation bit for bit, the hardware is fully intact, and the
+    // recovery arm is irrelevant.
+    #[test]
+    fn zero_drift_reproduces_the_healthy_evaluation(
+        seed in 0u64..1_000_000,
+        t in 0.0f64..100_000.0,
+        policy in any_policy(),
+        shared in any::<bool>(),
+    ) {
+        let eng = engine(0.0, seed, 1, shared);
+        let strategy = vec![XbarShape::new(72, 64); eng.model().layers.len()];
+        let healthy = eng.evaluate(&strategy);
+        let d = eng.evaluate_degraded(&strategy, t, policy);
+        prop_assert_eq!(d.repair.dead_occupied, 0);
+        prop_assert_eq!(d.fidelity, 1.0);
+        if policy.repairs() {
+            // Spare provisioning prices in area but nothing is active,
+            // so the performance metrics stay identical.
+            prop_assert_eq!(d.eval.latency_ns, healthy.latency_ns);
+            prop_assert_eq!(d.eval.energy_nj(), healthy.energy_nj());
+        } else {
+            prop_assert_eq!(&d.eval, &healthy);
+        }
+    }
+
+    // `evaluate_degraded` is a pure function of its inputs: two engines
+    // built independently agree bit for bit.
+    #[test]
+    fn degraded_evaluation_is_deterministic(
+        seed in 0u64..1_000_000,
+        scale in 0.0f64..8.0,
+        t in 0.0f64..20_000.0,
+        policy in any_policy(),
+    ) {
+        let strategy = vec![XbarShape::square(64); small_model().layers.len()];
+        let a = engine(scale, seed, 1, true).evaluate_degraded(&strategy, t, policy);
+        let b = engine(scale, seed, 1, true).evaluate_degraded(&strategy, t, policy);
+        prop_assert_eq!(a, b);
+    }
+}
