@@ -89,8 +89,9 @@ pub mod prelude {
     pub use crate::search::random::{random_search, random_search_with_engine};
     pub use crate::search::rl::{
         rl_search, rl_search_multi_seed, rl_search_vec, rl_search_vec_multi_seed,
-        rl_search_vec_with_engine, rl_search_vec_with_stats, rl_search_with_engine, EpisodeRecord,
-        RlSearchConfig, SearchOutcome, SearchTiming, VecSearchStats,
+        rl_search_vec_tapped, rl_search_vec_with_engine, rl_search_vec_with_stats,
+        rl_search_with_engine, EpisodeRecord, RlSearchConfig, SearchOutcome, SearchTap,
+        SearchTiming, VecSearchStats,
     };
     pub use crate::studies::{
         fault_campaign, lifetime_campaign, robustness_study, search_throughput_study,
@@ -100,7 +101,8 @@ pub mod prelude {
     };
     pub use crate::telemetry::{
         episode_series, front_series, publish_episode_history, publish_robust_search,
-        publish_vec_search, vec_occupancy_series, EPISODE_COLUMNS, FRONT_COLUMNS,
+        publish_vec_search, vec_occupancy_series, EpisodeStream, StallDetector, EPISODE_COLUMNS,
+        FRONT_COLUMNS, REWARD_STALL_RULE,
     };
     pub use crate::vec_env::{VecEnv, VecEpisode};
     pub use autohet_accel::{
@@ -109,8 +111,9 @@ pub mod prelude {
         NoisyEvalReport, RecoveryPolicy, RepairPolicy, RobustnessReport,
     };
     pub use autohet_serve::{
-        run_serving, run_serving_parallel, BurstSpec, Deployment, FailureSpec, HealthSpec,
-        LatencyHistogram, ServeConfig, ServingReport, TenantSpec, TenantStats, Workload,
+        alert_timeline, run_serving, run_serving_parallel, BurstSpec, Deployment, FailureSpec,
+        HealthEvent, HealthEventKind, HealthSpec, LatencyHistogram, ServeAlertConfig, ServeConfig,
+        ServingReport, TenantSpec, TenantStats, Workload,
     };
     pub use autohet_xbar::fault::{FaultMap, FaultRates};
     pub use autohet_xbar::geometry::{

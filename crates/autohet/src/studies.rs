@@ -209,6 +209,12 @@ pub struct ServingStudyRow {
     pub energy_nj: f64,
     /// Completed requests per second of virtual time.
     pub throughput_rps: f64,
+    /// Firing transitions on the run's alert timeline (SLO burn, queue
+    /// saturation — see [`autohet_serve::alert_timeline`]), evaluated
+    /// post-hoc over the per-window telemetry with default
+    /// [`ServeAlertConfig`](autohet_serve::ServeAlertConfig) rules.
+    #[serde(default)]
+    pub alerts_fired: u64,
 }
 
 /// Serve `model` under four deployment configurations — {best homogeneous,
@@ -255,6 +261,9 @@ pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow
     };
     let cfg = ServeConfig {
         queue_depth: 32,
+        // Per-window telemetry feeds the post-hoc alert pass; windows are
+        // pure accounting, so the serving results are unaffected.
+        telemetry_windows: 8,
         ..ServeConfig::default()
     };
     deployments
@@ -264,6 +273,7 @@ pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow
             let label = d.name.clone();
             let tenant = TenantSpec::new(&label, d, rate, slo_ns);
             let r = run_serving(&[tenant], &wl, &cfg);
+            let alerts = autohet_serve::alert_timeline(&r, &Default::default());
             let t = &r.tenants[0];
             ServingStudyRow {
                 label,
@@ -273,6 +283,7 @@ pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow
                 slo_attainment: t.slo_attainment,
                 energy_nj: t.energy_nj,
                 throughput_rps: t.throughput_rps,
+                alerts_fired: alerts.count(autohet_obs::AlertKind::Firing) as u64,
             }
         })
         .collect()

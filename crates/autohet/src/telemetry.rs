@@ -11,6 +11,8 @@
 
 use crate::robust::{RobustPoint, RobustSearchOutcome};
 use crate::search::rl::{EpisodeRecord, SearchTiming, VecSearchStats};
+use autohet_obs::alert::{AlertEngine, AlertRule, AlertTimeline, ThresholdRule};
+use autohet_obs::export::{SeriesStream, Sink};
 use autohet_obs::{Registry, Series};
 
 /// Column schema of [`episode_series`] (name, unit), kept in one place so
@@ -71,6 +73,115 @@ pub fn publish_episode_history(
     c("cache.strategy_misses", timing.cache.strategy_misses);
     c("cache.layer_hits", timing.cache.layer_hits);
     c("cache.layer_misses", timing.cache.layer_misses);
+}
+
+/// Streaming twin of [`episode_series`]: writes each [`EpisodeRecord`]
+/// through a [`Sink`] as it is produced (schema per [`EPISODE_COLUMNS`]),
+/// so long campaigns leave a usable JSONL trace even if killed mid-run.
+/// Attachable to the vectorized DDPG driver via
+/// [`SearchTap`](crate::search::rl::SearchTap); purely observational —
+/// the search never reads anything back.
+pub struct EpisodeStream {
+    stream: SeriesStream,
+}
+
+impl EpisodeStream {
+    pub fn new(name: &str, sink: Box<dyn Sink>) -> Self {
+        let columns: Vec<&str> = EPISODE_COLUMNS.iter().map(|(c, _)| *c).collect();
+        EpisodeStream {
+            stream: SeriesStream::new(name, &columns, sink),
+        }
+    }
+
+    /// Write one episode row.
+    pub fn push(&mut self, e: &EpisodeRecord) {
+        self.stream.push(&[
+            e.episode as f64,
+            e.rue,
+            e.reward,
+            e.utilization,
+            e.energy_nj,
+            e.cache_hit_rate,
+        ]);
+    }
+
+    /// Rows written so far.
+    pub fn rows_written(&self) -> u64 {
+        self.stream.rows_written()
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) {
+        self.stream.flush();
+    }
+}
+
+/// Name of the rule a [`StallDetector`] installs.
+pub const REWARD_STALL_RULE: &str = "search.reward_stall";
+
+/// Reward-stall detector for search drivers, built on the shared alert
+/// engine: tracks the best reward seen and feeds the count of episodes
+/// since the last improvement through a threshold rule, so a stalled
+/// search surfaces on the same pending → firing → resolved timeline as
+/// serving alerts (timestamps are episode indices, not nanoseconds).
+/// Observation only — detecting a stall never changes the search.
+pub struct StallDetector {
+    engine: AlertEngine,
+    best_reward: f64,
+    since_improvement: u64,
+    /// Minimum relative reward improvement that resets the stall clock.
+    min_delta: f64,
+}
+
+impl StallDetector {
+    /// Fire after `patience` consecutive episodes without the best reward
+    /// improving by at least `min_delta` (absolute).
+    pub fn new(patience: u64, min_delta: f64) -> Self {
+        StallDetector {
+            engine: AlertEngine::new().with_rule(AlertRule::Threshold(
+                ThresholdRule::above(
+                    REWARD_STALL_RULE,
+                    "episodes_since_improvement",
+                    patience as f64 - 0.5,
+                )
+                .clear_samples(1),
+            )),
+            best_reward: f64::NEG_INFINITY,
+            since_improvement: 0,
+            min_delta,
+        }
+    }
+
+    /// Observe one episode's reward (episode indices must be fed in
+    /// order; they become the timeline's timestamps).
+    pub fn observe(&mut self, episode: usize, reward: f64) {
+        if reward > self.best_reward + self.min_delta {
+            self.best_reward = reward;
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+        self.engine.observe(
+            episode as u64,
+            &[("episodes_since_improvement", self.since_improvement as f64)],
+        );
+    }
+
+    /// Whether the stall rule is currently firing.
+    pub fn is_stalled(&self) -> bool {
+        self.engine.is_firing(REWARD_STALL_RULE)
+    }
+
+    /// Best reward observed so far (−∞ before any observation).
+    pub fn best_reward(&self) -> f64 {
+        self.best_reward
+    }
+
+    /// Consume the detector into its alert timeline (timestamps are
+    /// episode indices).
+    pub fn finish(self) -> AlertTimeline {
+        self.engine.finish()
+    }
 }
 
 /// Column schema of [`vec_occupancy_series`] (name, unit).
@@ -299,5 +410,60 @@ mod tests {
         assert_eq!(reg.counter("x.episodes").get(), 0);
         let text = reg.to_text();
         assert!(!text.contains("best_rue"));
+    }
+
+    #[test]
+    fn episode_stream_mirrors_the_series_schema() {
+        let sink = autohet_obs::MemorySink::new();
+        let mut stream = EpisodeStream::new("ep", Box::new(sink.clone()));
+        for e in history() {
+            stream.push(&e);
+        }
+        stream.flush();
+        assert_eq!(stream.rows_written(), 4);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        // Same rows the batch exporter would produce, keyed by column.
+        assert!(lines[0].starts_with("{\"episode\":0,\"rue\":0.1,\"reward\":0,"));
+        for (name, _) in EPISODE_COLUMNS {
+            assert!(lines[0].contains(&format!("\"{name}\":")), "{name}");
+        }
+    }
+
+    #[test]
+    fn stall_detector_fires_after_patience_and_resolves_on_improvement() {
+        let mut d = StallDetector::new(3, 1e-9);
+        // Improving rewards: no stall.
+        d.observe(0, 1.0);
+        d.observe(1, 2.0);
+        assert!(!d.is_stalled());
+        // Flat rewards: stalls on the 3rd non-improving episode.
+        d.observe(2, 2.0);
+        d.observe(3, 2.0);
+        assert!(!d.is_stalled());
+        d.observe(4, 2.0);
+        assert!(d.is_stalled());
+        // A breakthrough resolves the stall.
+        d.observe(5, 3.0);
+        assert!(!d.is_stalled());
+        assert_eq!(d.best_reward(), 3.0);
+        let t = d.finish();
+        let stall = t.for_rule(REWARD_STALL_RULE);
+        let kinds: Vec<&str> = stall.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(kinds, ["firing", "resolved"]);
+        assert_eq!(stall[0].t_ns, 4, "fired at episode 4");
+        assert_eq!(stall[1].t_ns, 5);
+    }
+
+    #[test]
+    fn stall_detector_is_deterministic() {
+        let run = || {
+            let mut d = StallDetector::new(2, 0.0);
+            for (i, r) in [1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0].iter().enumerate() {
+                d.observe(i, *r);
+            }
+            d.finish()
+        };
+        assert_eq!(run(), run());
     }
 }

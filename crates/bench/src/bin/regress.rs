@@ -1,0 +1,111 @@
+//! `regress` — the perf-regression sentinel over `BENCH_*.json` snapshots.
+//!
+//! ```text
+//! regress --baseline BENCH_kernels.json --current BENCH_new.json \
+//!         [--threshold PCT] [--abs-slack NS] [--hard] [--out verdict.jsonl]
+//! ```
+//!
+//! Compares two min-of-N benchmark snapshots (as written by
+//! `scripts/bench_snapshot.sh`) with the noise-aware threshold from
+//! [`autohet_obs::regress`]: a benchmark has regressed iff
+//! `current > baseline * (1 + threshold) + abs_slack`. Prints a
+//! human-readable table to stdout and, with `--out`, writes the full
+//! verdict as JSONL (per-row records plus a trailing summary line).
+//!
+//! Exit status: 0 in warn mode (the default) regardless of verdicts;
+//! with `--hard`, 1 if any benchmark regressed. Parse/IO failures exit 2.
+
+use autohet_obs::regress::{compare, parse_snapshot, RegressConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: regress --baseline FILE --current FILE \
+         [--threshold PCT] [--abs-slack NS] [--hard] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn read_snapshot(path: &str) -> autohet_obs::regress::BenchSnapshot {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("regress: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match parse_snapshot(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("regress: cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut current = None;
+    let mut out = None;
+    let mut hard = false;
+    let mut cfg = RegressConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--current" => {
+                i += 1;
+                current = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                let pct: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.rel_threshold = pct / 100.0;
+            }
+            "--abs-slack" => {
+                i += 1;
+                cfg.abs_slack_ns = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--hard" => hard = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage()
+    };
+
+    let base = read_snapshot(&baseline);
+    let curr = read_snapshot(&current);
+    let report = compare(&base, &curr, cfg);
+
+    print!("{}", report.to_text());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_jsonl()) {
+            eprintln!("regress: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let regressed = report.regressions().len();
+    if regressed > 0 {
+        if hard {
+            eprintln!("regress: {regressed} benchmark(s) regressed (hard mode)");
+            std::process::exit(1);
+        }
+        eprintln!("regress: {regressed} benchmark(s) regressed (warn mode, not failing)");
+    }
+}

@@ -14,6 +14,15 @@
 //! - [`series`]: time-series tables (named, unit-annotated columns) with
 //!   CSV and JSONL export — the carrier for per-episode search traces and
 //!   per-window serving telemetry.
+//! - [`alert`]: a deterministic alert engine — threshold and multi-window
+//!   SLO burn-rate rules with a pending → firing → resolved state machine,
+//!   evaluated on simulated time so alert timelines are bit-reproducible.
+//! - [`export`]: streaming sinks (bounded-buffer JSONL file, in-memory,
+//!   fan-out) and a sim-time snapshot scheduler, so long campaigns flush
+//!   telemetry incrementally instead of only at end of run.
+//! - [`regress`]: a perf-regression sentinel over the `BENCH_*.json`
+//!   min-of-N snapshots, with a noise-aware threshold and a JSONL verdict
+//!   artifact for CI.
 //!
 //! ## Overhead contract
 //!
@@ -33,11 +42,22 @@
 //!
 //! This crate deliberately has **no dependencies** (std only).
 
+pub mod alert;
+pub mod export;
 pub mod metrics;
+pub mod regress;
 pub mod series;
 pub mod trace;
 
+pub use alert::{
+    AlertEngine, AlertEvent, AlertKind, AlertRule, AlertTimeline, BurnRateRule, Comparison,
+    ThresholdRule,
+};
+pub use export::{FanOutSink, JsonlFileSink, MemorySink, SeriesStream, Sink, SnapshotScheduler};
 pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, Registry, SnapshotValue};
+pub use regress::{
+    compare, parse_snapshot, BenchSnapshot, RegressConfig, RegressReport, RegressRow, Verdict,
+};
 pub use series::Series;
 pub use trace::{Span, SpanEvent, Tracer};
 

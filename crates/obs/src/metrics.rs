@@ -222,10 +222,23 @@ impl Registry {
         }
     }
 
-    /// Remove all registered metrics. Existing handles keep working but
-    /// are no longer visible to snapshots.
+    /// Reset every registered metric to zero **in place**. Entries are
+    /// not dropped, so typed handles held across a clear stay wired to
+    /// the live cores (and the names remain visible to snapshots): a
+    /// handle update after `clear` is observed, not lost on a detached
+    /// `Arc`.
     pub fn clear(&self) {
-        lock_ok(&self.slots).clear();
+        for slot in lock_ok(&self.slots).values() {
+            match slot {
+                Slot::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Slot::Gauge(g) => g.0.store(0, Ordering::Relaxed),
+                Slot::Histogram(h) => {
+                    for bin in &h.0.bins {
+                        bin.store(0, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
     }
 
     /// Capture every metric's current value, sorted by name.
@@ -399,6 +412,32 @@ mod tests {
         assert!(jsonl.contains("{\"name\":\"a.first\",\"kind\":\"gauge\",\"value\":-2}"));
         assert!(jsonl
             .contains("{\"name\":\"m.mid\",\"kind\":\"histogram\",\"count\":1,\"p50\":127,\"p99\":127,\"bins\":[[6,1]]}"));
+    }
+
+    #[test]
+    fn handles_stay_valid_across_clear() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        c.add(10);
+        g.set(-5);
+        h.record(1024);
+        r.clear();
+        // Values reset in place; names stay registered.
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(r.snapshot().len(), 3);
+        // The old handles still feed the live cores: updates through them
+        // are visible to freshly fetched handles and to snapshots.
+        c.inc();
+        g.adjust(3);
+        h.record(7);
+        assert_eq!(r.counter("c").get(), 1);
+        assert_eq!(r.gauge("g").get(), 3);
+        assert_eq!(r.histogram("h").count(), 1);
+        assert!(r.to_text().contains("c 1"));
     }
 
     #[test]

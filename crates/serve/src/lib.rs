@@ -75,5 +75,6 @@ pub use deploy::Deployment;
 pub use failure::{FailurePlan, FailureSpec, Outage};
 pub use parallel::run_serving_parallel;
 pub use report::{LatencyHistogram, ServingReport, TenantStats, WindowStats};
-pub use sim::{run_serving, HealthSpec, ServeConfig};
+pub use sim::{run_serving, HealthEvent, HealthEventKind, HealthSpec, ServeConfig};
+pub use telemetry::{alert_timeline, publish_report, window_series, ServeAlertConfig};
 pub use workload::{merge_arrivals, tenant_arrivals, Arrival, BurstSpec, TenantSpec, Workload};

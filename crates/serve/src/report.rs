@@ -3,7 +3,7 @@
 //! same batch stream.
 
 use crate::failure::FailurePlan;
-use crate::sim::{BatchResult, ServeConfig, SimCore};
+use crate::sim::{BatchResult, HealthEvent, ServeConfig, SimCore};
 use crate::workload::{TenantSpec, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +213,12 @@ pub struct ServingReport {
     /// configured.
     #[serde(default)]
     pub windows: Vec<WindowStats>,
+    /// Timestamped replica-health transitions (trips, recals, remaps,
+    /// failed recoveries) in recurrence order — the raw material of the
+    /// alert timeline. Empty without a
+    /// [`HealthSpec`](crate::sim::HealthSpec).
+    #[serde(default)]
+    pub health_events: Vec<HealthEvent>,
 }
 
 impl ServingReport {
@@ -375,6 +381,7 @@ pub(crate) fn assemble_report(
         },
         tenants: stats,
         windows,
+        health_events: core.health_events.clone(),
     }
 }
 

@@ -117,6 +117,47 @@ pub(crate) struct ReplicaHealth {
     pub recovery_ns: u64,
 }
 
+/// What happened in one replica-health transition (see [`HealthEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthEventKind {
+    /// The error-EWMA circuit breaker tripped.
+    Trip,
+    /// An online recalibration attempt succeeded.
+    Recal,
+    /// Recovery escalated to a remap (always succeeds).
+    Remap,
+    /// Recalibration ran out of retries with no remap escalation.
+    RecoveryFailed,
+}
+
+impl HealthEventKind {
+    /// Lower-case label used by exporters and alert annotations.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthEventKind::Trip => "trip",
+            HealthEventKind::Recal => "recal",
+            HealthEventKind::Remap => "remap",
+            HealthEventKind::RecoveryFailed => "recovery_failed",
+        }
+    }
+}
+
+/// One timestamped replica-health transition. Recorded inside
+/// [`SimCore::apply_health`] — which both execution drivers call at the
+/// same point of the scheduling recurrence, under the lock — so the
+/// event sequence is bit-identical across the single-threaded and
+/// parallel drivers. Trips carry the batch completion instant; recovery
+/// outcomes carry the instant the replica came back (or gave up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Simulated instant of the transition [ns].
+    pub t_ns: u64,
+    /// Replica the transition happened on.
+    pub replica: usize,
+    /// Transition kind.
+    pub kind: HealthEventKind,
+}
+
 /// Keyed order-free roll (splitmix64-style), the same discipline as the
 /// crossbar fault sampler: a pure function of its keys, so error and
 /// recovery decisions do not depend on evaluation order.
@@ -269,6 +310,9 @@ pub(crate) struct SimCore {
     // it at the same point of the scheduling recurrence, under the lock.
     health_spec: Option<HealthSpec>,
     pub health: Vec<ReplicaHealth>,
+    /// Timestamped health transitions in recurrence order (empty without
+    /// a `HealthSpec` or when the breaker never trips).
+    pub health_events: Vec<HealthEvent>,
 }
 
 impl SimCore {
@@ -307,6 +351,7 @@ impl SimCore {
             win_peak_depth: vec![0; n_win],
             health_spec: cfg.health,
             health: vec![ReplicaHealth::default(); cfg.replicas],
+            health_events: Vec::new(),
         }
     }
 
@@ -359,6 +404,11 @@ impl SimCore {
         }
         // Circuit breaker: take the replica out of service and recover.
         h.trips += 1;
+        self.health_events.push(HealthEvent {
+            t_ns: completion_ns,
+            replica,
+            kind: HealthEventKind::Trip,
+        });
         let mut t = completion_ns;
         for attempt in 0..spec.max_retries {
             t += spec.recalibrate_ns + (spec.backoff_base_ns << attempt.min(20));
@@ -373,6 +423,11 @@ impl SimCore {
                 h.last_recal_ns = t;
                 h.ewma_milli = 0;
                 h.recovery_ns += t - completion_ns;
+                self.health_events.push(HealthEvent {
+                    t_ns: t,
+                    replica,
+                    kind: HealthEventKind::Recal,
+                });
                 return (errored, t);
             }
         }
@@ -382,12 +437,22 @@ impl SimCore {
             h.last_recal_ns = t;
             h.ewma_milli = 0;
             h.recovery_ns += t - completion_ns;
+            self.health_events.push(HealthEvent {
+                t_ns: t,
+                replica,
+                kind: HealthEventKind::Remap,
+            });
             return (errored, t);
         }
         // Out of retries with no remap escalation: the breaker re-arms
         // but the drift clock keeps running — accuracy keeps eroding.
         h.ewma_milli = 0;
         h.recovery_ns += t - completion_ns;
+        self.health_events.push(HealthEvent {
+            t_ns: t,
+            replica,
+            kind: HealthEventKind::RecoveryFailed,
+        });
         (errored, t)
     }
 

@@ -1,8 +1,10 @@
 //! Bridges from serving reports to the `autohet-obs` substrate:
-//! per-window telemetry as a [`Series`] table and run totals mirrored
-//! into a metrics [`Registry`].
+//! per-window telemetry as a [`Series`] table, run totals mirrored into
+//! a metrics [`Registry`], and the report's window stream evaluated
+//! through the deterministic alert engine ([`alert_timeline`]).
 
 use crate::report::ServingReport;
+use autohet_obs::alert::{AlertEngine, AlertRule, AlertTimeline, BurnRateRule, ThresholdRule};
 use autohet_obs::{Registry, Series};
 
 /// Column schema of [`window_series`] (name, unit), kept in one place so
@@ -65,6 +67,98 @@ pub fn publish_report(report: &ServingReport, registry: &Registry, prefix: &str)
     registry
         .histogram(&format!("{prefix}.latency_ns"))
         .merge_bins(&report.overall_histogram().bins);
+}
+
+/// Alert rules evaluated over a serving run's per-window telemetry (see
+/// [`alert_timeline`]). The configuration lives outside [`ServeConfig`]
+/// (which stays `Copy + Eq`): alerting is a post-hoc, read-only pass over
+/// the report, so it cannot perturb the simulation by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeAlertConfig {
+    /// SLO attainment target per window; the burn-rate rule watches the
+    /// error fraction `1 − slo_attainment` against budget `1 − target`.
+    pub slo_target: f64,
+    /// Burn-rate multiple that fires the SLO rule.
+    pub burn_factor: f64,
+    /// Fast burn window [telemetry windows].
+    pub short_windows: usize,
+    /// Slow burn window [telemetry windows].
+    pub long_windows: usize,
+    /// Mean aggregate queue depth above which the saturation rule trips.
+    pub queue_depth_limit: f64,
+    /// Clean windows before a firing rule resolves.
+    pub clear_windows: usize,
+}
+
+impl Default for ServeAlertConfig {
+    fn default() -> Self {
+        ServeAlertConfig {
+            slo_target: 0.95,
+            burn_factor: 2.0,
+            short_windows: 1,
+            long_windows: 4,
+            queue_depth_limit: 32.0,
+            clear_windows: 2,
+        }
+    }
+}
+
+/// Names of the rules [`alert_timeline`] installs.
+pub const SLO_BURN_RULE: &str = "serve.slo_burn";
+/// See [`SLO_BURN_RULE`].
+pub const QUEUE_SATURATION_RULE: &str = "serve.queue_saturation";
+/// See [`SLO_BURN_RULE`].
+pub const DOWNTIME_RULE: &str = "serve.downtime";
+
+/// Evaluate a serving report's telemetry windows through the
+/// deterministic alert engine and return the resulting timeline.
+///
+/// Each [`WindowStats`](crate::report::WindowStats) is observed at its
+/// `end_ns` with three signals — the window's SLO error fraction, its
+/// time-weighted mean aggregate queue depth, and its replica downtime —
+/// and every recorded [`HealthEvent`](crate::sim::HealthEvent) is placed
+/// on the same timeline as an annotation (`health.trip`, `health.recal`,
+/// …, carrying the replica id as the value). Because the evaluation runs
+/// over the finished report on simulated time only, the timeline is
+/// bit-identical across runs and across the single-threaded and parallel
+/// drivers, and producing it cannot change the report.
+pub fn alert_timeline(report: &ServingReport, cfg: &ServeAlertConfig) -> AlertTimeline {
+    let mut engine = AlertEngine::new()
+        .with_rule(AlertRule::BurnRate(
+            BurnRateRule::new(SLO_BURN_RULE, "err_frac", cfg.slo_target, cfg.burn_factor)
+                .windows(cfg.short_windows, cfg.long_windows)
+                .clear_samples(cfg.clear_windows),
+        ))
+        .with_rule(AlertRule::Threshold(
+            ThresholdRule::above(
+                QUEUE_SATURATION_RULE,
+                "mean_queue_depth",
+                cfg.queue_depth_limit,
+            )
+            .clear_samples(cfg.clear_windows),
+        ))
+        .with_rule(AlertRule::Threshold(
+            ThresholdRule::above(DOWNTIME_RULE, "downtime_ns", 0.0)
+                .clear_samples(cfg.clear_windows),
+        ));
+    for w in &report.windows {
+        engine.observe(
+            w.end_ns,
+            &[
+                ("err_frac", 1.0 - w.slo_attainment),
+                ("mean_queue_depth", w.mean_queue_depth),
+                ("downtime_ns", w.downtime_ns as f64),
+            ],
+        );
+    }
+    for e in &report.health_events {
+        engine.annotate(
+            e.t_ns,
+            &format!("health.{}", e.kind.label()),
+            e.replica as f64,
+        );
+    }
+    engine.finish()
 }
 
 #[cfg(test)]
@@ -161,5 +255,160 @@ mod tests {
         let h = reg.histogram("serve.latency_ns");
         assert_eq!(h.count(), r.total_completed);
         assert_eq!(h.bins(), r.overall_histogram().bins);
+    }
+
+    /// A report skeleton with hand-written windows, for driving the alert
+    /// rules through exact signal sequences.
+    fn synthetic_report(windows: Vec<crate::report::WindowStats>) -> ServingReport {
+        ServingReport {
+            seed: 0,
+            horizon_ns: windows.len() as u64 * 1_000,
+            makespan_ns: windows.len() as u64 * 1_000,
+            replicas: 1,
+            batches: 0,
+            mean_batch_size: 0.0,
+            total_completed: 0,
+            total_rejected: 0,
+            total_failed: 0,
+            total_retried: 0,
+            total_errored: 0,
+            replica_downtime_ns: vec![0],
+            replica_trips: vec![0],
+            replica_recals: vec![0],
+            replica_remaps: vec![0],
+            replica_recovery_ns: vec![0],
+            total_energy_nj: 0.0,
+            aggregate_throughput_rps: 0.0,
+            tenants: Vec::new(),
+            windows,
+            health_events: Vec::new(),
+        }
+    }
+
+    fn win(index: usize, slo_attainment: f64, depth: f64) -> crate::report::WindowStats {
+        crate::report::WindowStats {
+            index,
+            start_ns: index as u64 * 1_000,
+            end_ns: (index as u64 + 1) * 1_000,
+            submitted: 10,
+            rejected: 0,
+            completed: 10,
+            batches: 2,
+            mean_batch_size: 5.0,
+            batch_occupancy: 0.6,
+            slo_attainment,
+            mean_queue_depth: depth,
+            peak_queue_depth: depth.ceil() as u64,
+            downtime_ns: 0,
+            histogram: crate::report::LatencyHistogram::new(),
+        }
+    }
+
+    #[test]
+    fn slo_burn_fires_under_sustained_violation_and_resolves() {
+        // Healthy, then four windows at 60% attainment (err 0.4, budget
+        // 0.05 → burn 8 ≥ 2), then healthy again.
+        let mut windows = vec![win(0, 1.0, 1.0), win(1, 1.0, 1.0)];
+        for i in 2..6 {
+            windows.push(win(i, 0.6, 1.0));
+        }
+        for i in 6..10 {
+            windows.push(win(i, 1.0, 1.0));
+        }
+        let t = alert_timeline(&synthetic_report(windows), &ServeAlertConfig::default());
+        let slo = t.for_rule(SLO_BURN_RULE);
+        let kinds: Vec<&str> = slo.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(kinds, ["firing", "resolved"]);
+        // Fired at the end of the first bad window, resolved two clean
+        // windows after the violation stopped.
+        assert_eq!(slo[0].t_ns, 3_000);
+        assert!(slo[1].t_ns > slo[0].t_ns);
+        // Queue depth stayed calm: no saturation events.
+        assert!(t.for_rule(QUEUE_SATURATION_RULE).is_empty());
+    }
+
+    #[test]
+    fn queue_saturation_rule_watches_mean_depth() {
+        let windows = vec![
+            win(0, 1.0, 2.0),
+            win(1, 1.0, 50.0),
+            win(2, 1.0, 40.0),
+            win(3, 1.0, 1.0),
+            win(4, 1.0, 1.0),
+        ];
+        let t = alert_timeline(&synthetic_report(windows), &ServeAlertConfig::default());
+        let sat = t.for_rule(QUEUE_SATURATION_RULE);
+        let kinds: Vec<&str> = sat.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(kinds, ["firing", "resolved"]);
+        assert_eq!(sat[0].t_ns, 2_000);
+        assert_eq!(sat[0].value, 50.0);
+        assert_eq!(sat[1].t_ns, 5_000);
+    }
+
+    #[test]
+    fn health_events_become_annotations_on_the_timeline() {
+        use crate::sim::{HealthEvent, HealthEventKind};
+        let mut r = synthetic_report(vec![win(0, 1.0, 1.0)]);
+        r.health_events = vec![
+            HealthEvent {
+                t_ns: 400,
+                replica: 2,
+                kind: HealthEventKind::Trip,
+            },
+            HealthEvent {
+                t_ns: 700,
+                replica: 2,
+                kind: HealthEventKind::Recal,
+            },
+        ];
+        let t = alert_timeline(&r, &ServeAlertConfig::default());
+        let trips = t.for_rule("health.trip");
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].t_ns, 400);
+        assert_eq!(trips[0].value, 2.0);
+        assert_eq!(t.for_rule("health.recal").len(), 1);
+        // Annotations sort into the timeline before the window sample.
+        assert_eq!(t.events[0].t_ns, 400);
+    }
+
+    #[test]
+    fn real_run_alert_timeline_is_deterministic_and_records_recovery() {
+        use crate::sim::HealthSpec;
+        let m = zoo::lenet5();
+        let strategy = vec![XbarShape::square(128); m.layers.len()];
+        let d = Deployment::compile("lenet", &m, &strategy, &AccelConfig::default());
+        let rate = 0.7 * d.max_rate_rps();
+        let slo = (8.0 * d.pipeline.fill_ns) as u64;
+        let tenants = vec![TenantSpec::new("lenet", d, rate, slo)];
+        let wl = Workload {
+            seed: 7,
+            horizon_ns: (2_000.0 / rate * 1e9) as u64,
+        };
+        let cfg = ServeConfig {
+            replicas: 2,
+            telemetry_windows: 8,
+            health: Some(HealthSpec {
+                err_ppm_per_ms: 30_000,
+                ..HealthSpec::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let acfg = ServeAlertConfig::default();
+        let single = run_serving(&tenants, &wl, &cfg);
+        assert!(
+            !single.health_events.is_empty(),
+            "drift config too tame to produce health events"
+        );
+        let t1 = alert_timeline(&single, &acfg);
+        let t2 = alert_timeline(&run_serving(&tenants, &wl, &cfg), &acfg);
+        assert_eq!(t1, t2, "identical runs must yield identical timelines");
+        let tp = alert_timeline(
+            &crate::parallel::run_serving_parallel(&tenants, &wl, &cfg),
+            &acfg,
+        );
+        assert_eq!(t1, tp, "drivers must agree on the alert timeline");
+        assert!(!t1.for_rule("health.trip").is_empty());
+        // Timestamps are sorted.
+        assert!(t1.events.windows(2).all(|p| p[0].t_ns <= p[1].t_ns));
     }
 }

@@ -22,6 +22,15 @@
 //! | `vec_groups.jsonl`    | same rows as JSON Lines                         |
 //! | `serving_windows.csv` | per-window serving telemetry                    |
 //! | `serving_windows.jsonl` | same rows as JSON Lines                       |
+//!
+//! With `--alerts`, two more artifacts exercise the deterministic alert
+//! engine and the streaming export path:
+//!
+//! | file                    | contents                                      |
+//! |-------------------------|-----------------------------------------------|
+//! | `alerts.jsonl`          | alert timeline of an overload + drift serving run |
+//! | `alerts.csv`            | same timeline as CSV                          |
+//! | `stream_episodes.jsonl` | per-episode rows streamed live from the vectorized search |
 
 use autohet::prelude::*;
 use autohet::telemetry::{publish_episode_history, EPISODE_COLUMNS};
@@ -34,13 +43,15 @@ use std::sync::Arc;
 
 fn main() {
     let mut smoke = false;
+    let mut alerts = false;
     let mut out = PathBuf::from("target/obs_dump");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--alerts" => alerts = true,
             "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
-            other => panic!("unknown flag {other:?} (expected --smoke / --out DIR)"),
+            other => panic!("unknown flag {other:?} (expected --smoke / --alerts / --out DIR)"),
         }
     }
     fs::create_dir_all(&out).expect("create output directory");
@@ -204,6 +215,89 @@ fn main() {
     );
     publish_report(&report, registry, "serve");
     let windows = window_series(&report);
+
+    // --- Alerting + streaming demo (--alerts) ---------------------------
+    //
+    // A second serving run engineered to exercise the full alert state
+    // machine: an opening overload burst drives the SLO burn-rate rule
+    // through pending → firing, the post-burst recovery resolves it, and
+    // conductance drift on two replicas lands trip/recal annotations on
+    // the same timeline. Alongside it, the vectorized search streams its
+    // episode rows through a bounded-buffer JSONL sink while a stall
+    // detector watches the reward trajectory — both without perturbing a
+    // single bit of the results (property-tested in `tests/prop_obs.rs`).
+    if alerts {
+        let d = Deployment::compile(&model.name, &model, &ddpg.best_strategy, &cfg);
+        let replicas = 2;
+        let rate = 0.7 * replicas as f64 * d.max_rate_rps();
+        let slo = (8.0 * d.pipeline.fill_ns) as u64;
+        let horizon_ns = (requests / rate * 1e9) as u64;
+        let burst = BurstSpec {
+            period_ns: horizon_ns,
+            burst_ns: horizon_ns / 3,
+            factor: 3.0,
+        };
+        let tenants = vec![TenantSpec::new(&model.name, d, rate, slo).with_burst(burst)];
+        let wl = Workload {
+            seed: 7,
+            horizon_ns,
+        };
+        let alert_cfg = ServeConfig {
+            replicas,
+            telemetry_windows: 24,
+            health: Some(HealthSpec {
+                err_ppm_per_ms: 30_000,
+                ..HealthSpec::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let overload = run_serving(&tenants, &wl, &alert_cfg);
+        let timeline = alert_timeline(&overload, &ServeAlertConfig::default());
+        println!(
+            "alerts    {} events ({} firing, {} resolved) over {} windows, {} health events",
+            timeline.events.len(),
+            timeline.count(autohet_obs::AlertKind::Firing),
+            timeline.count(autohet_obs::AlertKind::Resolved),
+            overload.windows.len(),
+            overload.health_events.len()
+        );
+        let path = out.join("alerts.jsonl");
+        fs::write(&path, timeline.to_jsonl())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+        let path = out.join("alerts.csv");
+        fs::write(&path, timeline.to_csv())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+
+        let stream_path = out.join("stream_episodes.jsonl");
+        let sink = autohet_obs::JsonlFileSink::create(&stream_path)
+            .unwrap_or_else(|e| panic!("create {}: {e}", stream_path.display()));
+        let mut stream = EpisodeStream::new("stream_episodes", Box::new(sink));
+        let mut stall = StallDetector::new((episodes.max(8) / 4) as u64, 1e-9);
+        let mut tap = SearchTap {
+            episodes: Some(&mut stream),
+            stall: Some(&mut stall),
+        };
+        let (streamed, _) =
+            rl_search_vec_tapped(&model, &cands, &cfg, &scfg, lanes, engine.clone(), &mut tap);
+        stream.flush();
+        let best_reward = stall.best_reward();
+        let stall_timeline = stall.finish();
+        println!(
+            "streamed  {} episode rows, best reward {:.4}, {} stall alerts",
+            stream.rows_written(),
+            best_reward,
+            stall_timeline
+                .for_rule(autohet::telemetry::REWARD_STALL_RULE)
+                .len()
+        );
+        assert_eq!(
+            streamed.best_strategy, vec_ddpg.best_strategy,
+            "tapped search must match the untapped run bit for bit"
+        );
+        println!("wrote {}", stream_path.display());
+    }
 
     // --- Export every artifact -----------------------------------------
     tracer.disable();

@@ -119,3 +119,26 @@ for b in "${BENCHES[@]}"; do
     *) echo "bench_snapshot: unknown bench '$b' (kernels|search|noise|lifetime)" >&2; exit 1 ;;
   esac
 done
+
+# Combined index over every snapshot present on disk, so the regression
+# sentinel (and humans) can discover the full set from one file.
+python3 - <<'PY'
+import glob, json
+
+index = {"stat": "min_ns_per_iter", "snapshots": {}}
+for path in sorted(glob.glob("BENCH_*.json")):
+    if path == "BENCH_index.json":
+        continue
+    with open(path) as f:
+        snap = json.load(f)
+    index["snapshots"][snap["bench"]] = {
+        "file": path,
+        "git_rev": snap.get("git_rev", "unknown"),
+        "reps": snap.get("reps", 0),
+        "benchmarks": len(snap.get("results", {})),
+    }
+with open("BENCH_index.json", "w") as f:
+    json.dump(index, f, indent=2)
+    f.write("\n")
+print(f"bench_snapshot: wrote BENCH_index.json ({len(index['snapshots'])} snapshots)")
+PY

@@ -21,13 +21,41 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p autohet-obs
 
 # Observability smoke: the full dump pipeline must run end to end and
 # emit every artifact (CI uploads target/obs_smoke for inspection).
-cargo run --release -p autohet --example obs_dump -- --smoke --out target/obs_smoke
+cargo run --release -p autohet --example obs_dump -- --smoke --alerts --out target/obs_smoke
 for f in trace.jsonl trace.collapsed metrics.txt metrics.jsonl \
          search_episodes.csv search_episodes.jsonl \
          vec_groups.csv vec_groups.jsonl \
-         serving_windows.csv serving_windows.jsonl; do
+         serving_windows.csv serving_windows.jsonl \
+         alerts.jsonl alerts.csv stream_episodes.jsonl; do
   [ -s "target/obs_smoke/$f" ] || { echo "missing obs artifact: $f" >&2; exit 1; }
 done
+# The alert timeline must exercise the full state machine: the engineered
+# overload has to both fire and later resolve on simulated time.
+grep -q '"kind":"firing"' target/obs_smoke/alerts.jsonl \
+  || { echo "alert smoke: no firing transition on the timeline" >&2; exit 1; }
+grep -q '"kind":"resolved"' target/obs_smoke/alerts.jsonl \
+  || { echo "alert smoke: no resolved transition on the timeline" >&2; exit 1; }
+
+# Perf-regression sentinel (warn mode): compare the committed kernel
+# snapshot against itself via the `regress` binary so parser + CLI +
+# verdict artifact stay wired, then prove the sentinel actually bites by
+# injecting a 25% slowdown and expecting hard mode to fail.
+cargo build --release -p autohet-bench --bin regress
+target/release/regress --baseline BENCH_kernels.json --current BENCH_kernels.json \
+  --out target/regress_verdict.jsonl
+grep -q '"kind":"summary"' target/regress_verdict.jsonl \
+  || { echo "regress smoke: verdict artifact missing its summary line" >&2; exit 1; }
+python3 - <<'PY'
+import json
+snap = json.load(open("BENCH_kernels.json"))
+worst = max(snap["results"], key=lambda n: snap["results"][n])
+snap["results"][worst] = int(snap["results"][worst] * 1.25)
+json.dump(snap, open("target/BENCH_kernels_injected.json", "w"))
+PY
+if target/release/regress --baseline BENCH_kernels.json \
+     --current target/BENCH_kernels_injected.json --hard >/dev/null; then
+  echo "regress smoke: hard mode missed an injected 25% slowdown" >&2; exit 1
+fi
 
 # Robustness smoke: the NSGA-II study must run end to end, emit its
 # artifacts, and find a noise-robust pick distinct from the noise-blind

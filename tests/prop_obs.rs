@@ -138,3 +138,96 @@ proptest! {
         prop_assert_eq!(off, on);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The alert engine is a post-hoc pass over the report: evaluating it
+    // must not perturb the serving results, and the timeline itself must
+    // be deterministic — across repeated runs and across the sequential
+    // vs. parallel drivers — even with drift + recovery emitting health
+    // annotations onto it.
+    #[test]
+    fn alert_timeline_is_deterministic_and_driver_agnostic(
+        seed in 0u64..1_000_000,
+        drift in any::<bool>(),
+    ) {
+        let model = small_model();
+        let strategy = vec![XbarShape::square(64); model.layers.len()];
+        let d = Deployment::compile("prop-obs", &model, &strategy, &AccelConfig::default());
+        let rate = 0.8 * d.max_rate_rps();
+        let slo = (6.0 * d.pipeline.fill_ns) as u64;
+        let tenants = vec![TenantSpec::new("prop-obs", d, rate, slo)];
+        let wl = Workload {
+            seed,
+            horizon_ns: (200.0 / rate * 1e9) as u64,
+        };
+        let cfg = ServeConfig {
+            replicas: 2,
+            telemetry_windows: 6,
+            health: drift.then(|| HealthSpec {
+                err_ppm_per_ms: 30_000,
+                ..HealthSpec::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let acfg = ServeAlertConfig::default();
+        let plain = run_serving(&tenants, &wl, &cfg);
+        // Evaluating the timeline reads the report; the report must be
+        // exactly the one an alert-free consumer would see.
+        let t1 = alert_timeline(&plain, &acfg);
+        prop_assert_eq!(&plain, &run_serving(&tenants, &wl, &cfg));
+        // Identical runs yield identical timelines, and the parallel
+        // driver lands every alert and health annotation on the same
+        // simulated-time instants as the sequential recurrence.
+        prop_assert_eq!(&t1, &alert_timeline(&run_serving(&tenants, &wl, &cfg), &acfg));
+        prop_assert_eq!(
+            &t1,
+            &alert_timeline(&run_serving_parallel(&tenants, &wl, &cfg), &acfg)
+        );
+        // Timeline events are emitted in simulated-time order.
+        prop_assert!(t1.events.windows(2).all(|p| p[0].t_ns <= p[1].t_ns));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Tapping the vectorized search — streaming every episode row through
+    // a sink and feeding a reward-stall detector — must not change a bit
+    // of the outcome, and must stream exactly one row per episode.
+    #[test]
+    fn tapped_vec_search_is_bit_identical(seed in 0u64..1_000) {
+        let model = small_model();
+        let cfg = AccelConfig::default().with_tile_sharing();
+        let cands = paper_hybrid_candidates();
+        let scfg = RlSearchConfig {
+            episodes: 8,
+            ddpg: DdpgConfig {
+                seed,
+                hidden: 16,
+                batch: 16,
+                ..DdpgConfig::default()
+            },
+            train_steps: 2,
+            ..RlSearchConfig::default()
+        };
+        let lanes = 2;
+        let engine = || std::sync::Arc::new(EvalEngine::new(model.clone(), cfg));
+        let (plain, _) = rl_search_vec_with_stats(&model, &cands, &cfg, &scfg, lanes, engine());
+        let sink = autohet_obs::MemorySink::new();
+        let mut stream = EpisodeStream::new("prop", Box::new(sink.clone()));
+        let mut stall = StallDetector::new(3, 1e-9);
+        let mut tap = SearchTap {
+            episodes: Some(&mut stream),
+            stall: Some(&mut stall),
+        };
+        let (tapped, _) =
+            rl_search_vec_tapped(&model, &cands, &cfg, &scfg, lanes, engine(), &mut tap);
+        prop_assert_eq!(plain.best_strategy, tapped.best_strategy);
+        prop_assert_eq!(plain.best_report, tapped.best_report);
+        prop_assert_eq!(&plain.history, &tapped.history);
+        stream.flush();
+        prop_assert_eq!(sink.lines().len(), plain.history.len());
+    }
+}
