@@ -215,6 +215,12 @@ pub struct ServingStudyRow {
     /// [`ServeAlertConfig`](autohet_serve::ServeAlertConfig) rules.
     #[serde(default)]
     pub alerts_fired: u64,
+    /// Jain's fairness index over per-tenant weighted attained service
+    /// (1.0 for the single-tenant rows here; kept in the schema so
+    /// multi-tenant studies line up with
+    /// [`autohet_serve::ServingReport::fairness_index`]).
+    #[serde(default)]
+    pub fairness_index: f64,
 }
 
 /// Serve `model` under four deployment configurations — {best homogeneous,
@@ -284,6 +290,7 @@ pub fn serving_study(model: &Model, load: f64, seed: u64) -> Vec<ServingStudyRow
                 energy_nj: t.energy_nj,
                 throughput_rps: t.throughput_rps,
                 alerts_fired: alerts.count(autohet_obs::AlertKind::Firing) as u64,
+                fairness_index: r.fairness_index,
             }
         })
         .collect()

@@ -62,19 +62,48 @@
 //! request's energy is its deployment's single-inference energy; weights
 //! for all tenants are assumed resident (ReRAM weight programming is a
 //! deploy-time cost, §4.5 of the paper).
+//!
+//! ## The sharded runtime
+//!
+//! [`run_sharded`] scales the same simulation model to hundreds of
+//! tenants and millions of requests: tenants partition across
+//! shard-local schedulers with their own queues, clocks, and replica
+//! pools; scheduling within a shard is deficit round-robin over
+//! per-tenant weights ([`TenantSpec::weight`]) instead of global FIFO;
+//! and all cross-shard coupling — work stealing, telemetry-driven
+//! replica autoscaling, online strategy swap on workload-mix drift —
+//! happens at deterministic epoch barriers. The heap-mode scheduler,
+//! the linear-scan reference ([`run_sharded_reference`]), and the
+//! epoch-parallel driver ([`run_sharded_threaded`]) are bit-identical;
+//! see [`shard`] for the architecture and determinism argument.
 
 pub mod deploy;
+pub mod drr;
 pub mod failure;
 pub mod parallel;
+pub mod ready;
 pub mod report;
+pub mod shard;
 pub mod sim;
 pub mod telemetry;
 pub mod workload;
 
 pub use deploy::Deployment;
+pub use drr::{DrrAccess, DrrRing};
 pub use failure::{FailurePlan, FailureSpec, Outage};
-pub use parallel::run_serving_parallel;
-pub use report::{LatencyHistogram, ServingReport, TenantStats, WindowStats};
+pub use parallel::{run_serving_parallel, run_sharded_threaded};
+pub use ready::{ReplicaPool, StampedHeap};
+pub use report::{jain_index, LatencyHistogram, ServingReport, TenantStats, WindowStats};
+pub use shard::{
+    run_sharded, run_sharded_reference, AutoscaleSpec, EpochSignal, ScaleEvent, SelectMode,
+    ShardConfig, ShardServingReport, ShardStats, ShardTenantStats, StealEvent, StealSpec,
+    SwapEvent, SwapSpec,
+};
 pub use sim::{run_serving, HealthEvent, HealthEventKind, HealthSpec, ServeConfig};
-pub use telemetry::{alert_timeline, publish_report, window_series, ServeAlertConfig};
-pub use workload::{merge_arrivals, tenant_arrivals, Arrival, BurstSpec, TenantSpec, Workload};
+pub use telemetry::{
+    alert_timeline, publish_report, publish_shard_report, shard_alert_timeline,
+    shard_window_series, window_series, ServeAlertConfig,
+};
+pub use workload::{
+    merge_arrivals, tenant_arrivals, Arrival, BurstSpec, RampSpec, TenantSpec, Workload,
+};

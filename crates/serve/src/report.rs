@@ -116,6 +116,14 @@ pub struct TenantStats {
     pub peak_queue_depth: u64,
     /// Time-weighted mean waiting-queue depth over the run.
     pub mean_queue_depth: f64,
+    /// DRR fair-share weight from the spec (1 for FIFO runs, which
+    /// ignore it).
+    #[serde(default)]
+    pub weight: u64,
+    /// Busy replica-time this tenant's completed batches consumed [ns]
+    /// — the "attained service" the fairness index is computed over.
+    #[serde(default)]
+    pub attained_service_ns: u64,
     /// Log₂-binned latency distribution.
     pub histogram: LatencyHistogram,
 }
@@ -159,6 +167,11 @@ pub struct WindowStats {
     pub peak_queue_depth: u64,
     /// Replica downtime overlapping the window, summed over replicas [ns].
     pub downtime_ns: u64,
+    /// Jain's fairness index over per-tenant attained service per unit
+    /// weight within the window (tenants idle in the window are
+    /// excluded; 1.0 when at most one tenant was active).
+    #[serde(default)]
+    pub fairness_index: f64,
     /// Latency distribution of the window's completed requests.
     pub histogram: LatencyHistogram,
 }
@@ -207,6 +220,10 @@ pub struct ServingReport {
     pub total_energy_nj: f64,
     /// Completed requests per second of virtual time, all tenants.
     pub aggregate_throughput_rps: f64,
+    /// Jain's fairness index over per-tenant attained service per unit
+    /// weight (idle tenants excluded; 1.0 = perfectly proportional).
+    #[serde(default)]
+    pub fairness_index: f64,
     /// Per-tenant breakdown, in tenant declaration order.
     pub tenants: Vec<TenantStats>,
     /// Per-window telemetry; empty unless `telemetry_windows > 0` was
@@ -244,6 +261,26 @@ impl ServingReport {
     }
 }
 
+/// Jain's fairness index `J = (Σx)² / (n·Σx²)` over the non-zero
+/// allocation samples `x`: 1.0 when every sample is equal (perfect
+/// proportional fairness), approaching `1/n` when one sample dominates.
+/// Returns 1.0 for an empty or all-zero input (nothing to be unfair
+/// about).
+pub fn jain_index<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    let mut sq = 0.0f64;
+    for x in xs {
+        n += 1;
+        sum += x;
+        sq += x * x;
+    }
+    if n == 0 || sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -273,6 +310,7 @@ pub(crate) fn assemble_report(
     let mut degraded = vec![0u64; n];
     let mut errored = vec![0u64; n];
     let mut met = vec![0u64; n];
+    let mut attained = vec![0u64; n];
     let mut makespan = wl.horizon_ns;
     let mut total_requests = 0u64;
     for (i, b) in batches.iter().enumerate() {
@@ -299,6 +337,7 @@ pub(crate) fn assemble_report(
         }
         energy[b.tenant] += b.energy_nj;
         tenant_batches[b.tenant] += 1;
+        attained[b.tenant] += b.service_ns;
         total_requests += b.requests.len() as u64;
         makespan = makespan.max(b.completion_ns);
     }
@@ -344,6 +383,8 @@ pub(crate) fn assemble_report(
                 energy_nj: energy[t],
                 peak_queue_depth: core.peak_depth[t] as u64,
                 mean_queue_depth: core.mean_depth(t, makespan),
+                weight: tenants[t].weight.max(1),
+                attained_service_ns: attained[t],
                 histogram: hist[t].clone(),
             }
         })
@@ -379,6 +420,12 @@ pub(crate) fn assemble_report(
         } else {
             0.0
         },
+        fairness_index: jain_index(
+            stats
+                .iter()
+                .filter(|s| s.submitted > 0)
+                .map(|s| s.attained_service_ns as f64 / s.weight as f64),
+        ),
         tenants: stats,
         windows,
         health_events: core.health_events.clone(),
@@ -407,9 +454,11 @@ fn assemble_windows(
     let mut win_batches = vec![0u64; n_win];
     let mut met = vec![0u64; n_win];
     let mut hist = vec![LatencyHistogram::new(); n_win];
+    let mut attained = vec![vec![0u64; tenants.len()]; n_win];
     for b in batches {
         let w = core.window_of(b.completion_ns);
         win_batches[w] += 1;
+        attained[w][b.tenant] += b.service_ns;
         for (ri, r) in b.requests.iter().enumerate() {
             let l = b.completion_ns - r.arrival_ns;
             completed[w] += 1;
@@ -459,6 +508,13 @@ fn assemble_windows(
                 downtime_ns: (0..cfg.replicas)
                     .map(|r| plan.downtime_in(r, start_ns, covered_to))
                     .sum(),
+                fairness_index: jain_index(
+                    attained[w]
+                        .iter()
+                        .zip(tenants)
+                        .filter(|(&a, _)| a > 0)
+                        .map(|(&a, spec)| a as f64 / spec.weight.max(1) as f64),
+                ),
                 histogram: hist[w].clone(),
             }
         })

@@ -1,0 +1,1634 @@
+//! Sharded serving runtime: shard-local schedulers, work stealing,
+//! deficit-round-robin tenant fairness, telemetry-driven autoscaling,
+//! and online strategy swap — all deterministic in simulated time.
+//!
+//! # Architecture
+//!
+//! Tenants are partitioned across `shards` shard-local schedulers
+//! (`gid % shards`). Each shard owns its tenants' arrival streams,
+//! queues, a [`DrrRing`] of backlogged tenants, and a [`ReplicaPool`] of
+//! local replicas; it advances its own clock with the same
+//! ingest-before-dispatch recurrence the original event loop used, but
+//! tenant selection is deficit round-robin (weighted fair queueing)
+//! instead of global oldest-head-first FIFO.
+//!
+//! The simulated horizon is cut into `epochs` equal windows. *Within* an
+//! epoch shards are fully independent — that is what makes the
+//! epoch-parallel driver embarrassingly parallel — and every coupling
+//! mechanism runs at the deterministic epoch barrier, in a fixed order:
+//!
+//! 1. **settle** — every shard's queue-depth integral is settled to the
+//!    barrier instant;
+//! 2. **steal** — idle shards (backlog ≤ `max_thief_backlog`, a replica
+//!    free by the barrier) steal the most backlogged tenant from the
+//!    most backlogged shards (backlog ≥ `min_victim_backlog`), one
+//!    whole-tenant migration per thief: queue, arrival cursor, deficit
+//!    and statistics move atomically, so no request is lost or reordered
+//!    within its tenant;
+//! 3. **autoscale** — an [`AlertEngine`] consumes the epoch's mean
+//!    queue depth and SLO attainment (the same pending → firing →
+//!    resolved hysteresis discipline as `obs::alert`) and adds a replica
+//!    to the most backlogged shard or retires the highest-id replica of
+//!    the least backlogged one, within bounds and a cooldown;
+//! 4. **swap** — a tenant with an [`alt_deployment`] whose share of the
+//!    epoch's arrivals drifted past `share_factor ×` its long-run share
+//!    is remapped onto the alternative strategy (ARAS-style): the
+//!    owning shard's earliest-free replica takes a `remap_ns` pause
+//!    starting no earlier than the barrier, so in-flight batches drain
+//!    first, and the switch applies to every subsequent batch.
+//!
+//! # Determinism
+//!
+//! Everything is integer arithmetic on pre-generated arrival streams.
+//! Within an epoch a shard touches only its own state; barrier steps
+//! iterate shards and tenants in ascending id order. Consequently the
+//! epoch-parallel driver is *bit-identical* to the sequential one — the
+//! only nondeterminism a thread schedule could introduce is the order
+//! in which independent shards are stepped, and shard state composes
+//! commutatively at the barrier. The linear-scan reference
+//! ([`SelectMode::LinearScan`]) makes every choice by an O(tenants)
+//! or O(replicas) scan; heap mode makes the same choices through
+//! lazy-deletion heaps ([`ReplicaPool`], [`StampedHeap`]) with the
+//! scan's tie-breaks, so all three drivers produce identical reports.
+//!
+//! [`alt_deployment`]: crate::workload::TenantSpec::alt_deployment
+
+use crate::drr::{DrrAccess, DrrRing};
+use crate::ready::{ReplicaPool, StampedHeap};
+use crate::report::{jain_index, LatencyHistogram, WindowStats};
+use crate::workload::{tenant_arrivals, TenantSpec, Workload};
+use autohet_obs::alert::{AlertEngine, AlertRule, ThresholdRule};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Alert-rule name the autoscaler fires to add replicas.
+pub const SCALE_UP_RULE: &str = "serve.scale_up";
+/// Alert-rule name the autoscaler fires to drain replicas.
+pub const SCALE_DOWN_RULE: &str = "serve.scale_down";
+/// Alert-rule name for the SLO-floor scale-up trigger.
+pub const SCALE_SLO_RULE: &str = "serve.scale_slo";
+
+/// How the scheduler finds minima: the faithful linear scans of the
+/// original event loop, or the heap-backed structures that replace them.
+/// Both modes make identical decisions; they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectMode {
+    /// O(tenants)/O(replicas) scans per event — the reference.
+    LinearScan,
+    /// O(log) lazy-deletion heaps with the scan's exact tie-breaks.
+    Heap,
+}
+
+/// Work-stealing policy evaluated at every epoch barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealSpec {
+    /// A shard is a victim when its backlog is at least this many
+    /// queued requests.
+    pub min_victim_backlog: usize,
+    /// A shard is a thief when its backlog is at most this many queued
+    /// requests (and one of its replicas is free by the barrier).
+    pub max_thief_backlog: usize,
+}
+
+impl Default for StealSpec {
+    fn default() -> Self {
+        StealSpec {
+            min_victim_backlog: 16,
+            max_thief_backlog: 0,
+        }
+    }
+}
+
+/// Telemetry-driven replica autoscaling, evaluated at epoch barriers
+/// through an [`AlertEngine`] with threshold hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleSpec {
+    /// Scale up when the epoch mean queue depth exceeds this.
+    pub high_depth: f64,
+    /// Scale down when the epoch mean queue depth drops below this.
+    pub low_depth: f64,
+    /// Scale up when epoch SLO attainment drops below this (0 disables).
+    pub slo_floor: f64,
+    /// Consecutive breaching epochs before a rule fires.
+    pub for_epochs: usize,
+    /// Consecutive clean epochs before a firing rule resolves.
+    pub clear_epochs: usize,
+    /// Total active replicas never drops below this.
+    pub min_replicas: usize,
+    /// Total active replicas never exceeds this.
+    pub max_replicas: usize,
+    /// Barriers to wait after a scaling action before the next one.
+    pub cooldown_epochs: usize,
+}
+
+impl Default for AutoscaleSpec {
+    fn default() -> Self {
+        AutoscaleSpec {
+            high_depth: 8.0,
+            low_depth: 1.0,
+            slo_floor: 0.0,
+            for_epochs: 2,
+            clear_epochs: 2,
+            min_replicas: 1,
+            max_replicas: 64,
+            cooldown_epochs: 1,
+        }
+    }
+}
+
+/// Online strategy-swap policy: remap a tenant onto its
+/// `alt_deployment` when its epoch arrival share drifts past
+/// `share_factor ×` its long-run (rate-derived) share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapSpec {
+    /// Drift threshold as a multiple of the tenant's baseline share.
+    pub share_factor: f64,
+    /// Epochs with fewer total arrivals than this are too noisy to act
+    /// on.
+    pub min_epoch_requests: u64,
+    /// Pause charged to the owning shard's earliest-free replica while
+    /// the new strategy is programmed (in-flight batches drain first).
+    pub remap_ns: u64,
+}
+
+impl Default for SwapSpec {
+    fn default() -> Self {
+        SwapSpec {
+            share_factor: 2.0,
+            min_epoch_requests: 64,
+            remap_ns: 1_500_000,
+        }
+    }
+}
+
+/// Configuration of the sharded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Shard-local schedulers; tenants partition as `gid % shards`.
+    pub shards: usize,
+    /// Replicas each shard starts with.
+    pub replicas_per_shard: usize,
+    /// Max requests per dispatched batch.
+    pub max_batch: usize,
+    /// A head request waits at most this long for its batch to fill.
+    pub batch_window_ns: u64,
+    /// Per-tenant admission bound (arrivals beyond it are rejected).
+    pub queue_depth: usize,
+    /// Epoch barriers per horizon; also the telemetry window count.
+    pub epochs: usize,
+    /// DRR quantum: deficit granted per turn is `quantum × weight`.
+    pub quantum: u64,
+    /// Scheduler implementation (identical decisions either way).
+    pub mode: SelectMode,
+    /// Work stealing at epoch barriers.
+    pub steal: Option<StealSpec>,
+    /// Telemetry-driven replica autoscaling.
+    pub autoscale: Option<AutoscaleSpec>,
+    /// Online strategy swap on workload-mix drift.
+    pub swap: Option<SwapSpec>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            replicas_per_shard: 1,
+            max_batch: 8,
+            batch_window_ns: 1_000_000,
+            queue_depth: 64,
+            epochs: 16,
+            quantum: 1,
+            mode: SelectMode::Heap,
+            steal: None,
+            autoscale: None,
+            swap: None,
+        }
+    }
+}
+
+impl ShardConfig {
+    fn validate(&self) {
+        assert!(self.shards >= 1, "at least one shard");
+        assert!(self.replicas_per_shard >= 1, "at least one replica/shard");
+        assert!(self.max_batch >= 1, "zero max_batch");
+        assert!(self.queue_depth >= 1, "zero queue_depth");
+        assert!(self.epochs >= 1, "at least one epoch");
+        assert!(self.quantum >= 1, "zero quantum");
+    }
+}
+
+/// One autoscaling action on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Barrier instant [ns].
+    pub t_ns: u64,
+    /// Epoch index of the barrier.
+    pub epoch: usize,
+    /// `true` = replica added, `false` = replica retired.
+    pub up: bool,
+    /// Shard the replica belongs to.
+    pub shard: usize,
+    /// Shard-local replica id.
+    pub replica: usize,
+    /// Total active replicas after the action.
+    pub active_after: usize,
+}
+
+/// One whole-tenant migration between shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealEvent {
+    /// Barrier instant [ns].
+    pub t_ns: u64,
+    /// Epoch index of the barrier.
+    pub epoch: usize,
+    /// Migrated tenant (global index).
+    pub tenant: usize,
+    pub from_shard: usize,
+    pub to_shard: usize,
+    /// Queued requests that moved with the tenant.
+    pub moved_requests: usize,
+}
+
+/// One online strategy swap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapEvent {
+    /// Barrier instant [ns].
+    pub t_ns: u64,
+    /// Epoch index of the barrier.
+    pub epoch: usize,
+    /// Swapped tenant (global index).
+    pub tenant: usize,
+    /// Shard owning the tenant at swap time.
+    pub shard: usize,
+    /// Shard-local replica that took the remap pause.
+    pub replica: usize,
+    /// The tenant's arrival share in the triggering epoch.
+    pub share: f64,
+    /// The tenant's long-run (rate-derived) share.
+    pub base_share: f64,
+}
+
+/// The autoscaler's input signals for one epoch, recorded verbatim so
+/// the post-hoc alert timeline replays *exactly* what the runtime saw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochSignal {
+    /// Barrier instant [ns].
+    pub t_ns: u64,
+    /// Mean queue depth over the epoch (area / span).
+    pub mean_queue_depth: f64,
+    /// SLO attainment over the epoch's completions.
+    pub slo_attainment: f64,
+    /// Total queued requests across shards at the barrier.
+    pub backlog: u64,
+}
+
+/// Per-tenant results of a sharded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardTenantStats {
+    pub name: String,
+    /// DRR fair-share weight.
+    pub weight: u64,
+    /// Shard owning the tenant at the end of the run.
+    pub shard: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub batches: u64,
+    /// Latency quantiles from the tenant's log₂ histogram [ns].
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+    pub slo_ns: u64,
+    pub slo_attainment: f64,
+    pub throughput_rps: f64,
+    pub energy_nj: f64,
+    /// Busy replica-time this tenant's batches consumed [ns] — the
+    /// "attained service" the fairness index is computed over.
+    pub attained_service_ns: u64,
+    pub peak_queue_depth: u64,
+    pub mean_queue_depth: f64,
+    /// Whether the tenant ended the run on its alternative strategy.
+    pub swapped: bool,
+    pub histogram: LatencyHistogram,
+}
+
+/// Per-shard summary of a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    pub shard: usize,
+    /// Tenants owned at the end of the run.
+    pub tenants: usize,
+    pub replicas_active: usize,
+    /// Replicas ever created on this shard (including retired).
+    pub replicas_total: usize,
+    pub dispatched_batches: u64,
+    pub steals_in: u64,
+    pub steals_out: u64,
+    /// Last completion on this shard [ns].
+    pub makespan_ns: u64,
+}
+
+/// Results of a sharded serving run. The three drivers (linear-scan
+/// reference, heap mode, epoch-parallel) produce bit-identical values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardServingReport {
+    pub seed: u64,
+    pub horizon_ns: u64,
+    pub makespan_ns: u64,
+    pub shards: usize,
+    pub epochs: usize,
+    pub replicas_initial: usize,
+    pub replicas_final: usize,
+    /// Peak concurrently-active replicas (autoscaling high-water mark).
+    pub replicas_peak: usize,
+    pub batches: u64,
+    pub mean_batch_size: f64,
+    pub total_submitted: u64,
+    pub total_completed: u64,
+    pub total_rejected: u64,
+    pub total_energy_nj: f64,
+    pub aggregate_throughput_rps: f64,
+    /// Jain's fairness index over per-tenant attained service per unit
+    /// weight (1.0 = perfectly weight-proportional).
+    pub fairness_index: f64,
+    pub tenants: Vec<ShardTenantStats>,
+    pub shard_stats: Vec<ShardStats>,
+    /// One window per epoch, on the epoch grid.
+    pub windows: Vec<WindowStats>,
+    /// The autoscaler's per-epoch input signals (recorded even when
+    /// autoscaling is off — they are the epoch telemetry).
+    pub epoch_signals: Vec<EpochSignal>,
+    pub scale_events: Vec<ScaleEvent>,
+    pub steal_events: Vec<StealEvent>,
+    pub swap_events: Vec<SwapEvent>,
+}
+
+impl ShardServingReport {
+    /// Requests neither completed nor rejected — 0 after a full drain;
+    /// the zero-lost-requests guarantee the swap tests pin down.
+    pub fn lost_requests(&self) -> u64 {
+        self.total_submitted - self.total_completed - self.total_rejected
+    }
+}
+
+/// The epoch/window grid: `n` windows of `len` ns, the last one
+/// absorbing the remainder and the drain tail.
+#[derive(Debug, Clone, Copy)]
+struct WinGrid {
+    len: u64,
+    n: usize,
+}
+
+impl WinGrid {
+    fn new(horizon_ns: u64, epochs: usize) -> Self {
+        WinGrid {
+            len: (horizon_ns / epochs as u64).max(1),
+            n: epochs,
+        }
+    }
+
+    fn window_of(self, t: u64) -> usize {
+        ((t / self.len) as usize).min(self.n - 1)
+    }
+
+    fn start_of(self, w: usize) -> u64 {
+        w as u64 * self.len
+    }
+
+    fn end_of(self, w: usize, horizon_ns: u64) -> u64 {
+        if w + 1 == self.n {
+            horizon_ns
+        } else {
+            (w as u64 + 1) * self.len
+        }
+    }
+}
+
+/// Everything that travels with a tenant when it migrates between
+/// shards: queue, arrival stream position, DRR deficit, and all
+/// accounting. `stamp` versions the tenant's ready-heap entries.
+#[derive(Debug, Clone)]
+struct TenantState {
+    gid: usize,
+    weight: u64,
+    slo_ns: u64,
+    arrivals: Vec<u64>,
+    cursor: usize,
+    /// Arrival times of queued (admitted, undispatched) requests.
+    queue: VecDeque<u64>,
+    deficit: u64,
+    stamp: u64,
+    swapped: bool,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    met: u64,
+    batches: u64,
+    attained_ns: u64,
+    energy_nj: f64,
+    lat_sum: u128,
+    max_lat: u64,
+    hist: LatencyHistogram,
+    peak_depth: usize,
+    depth_area: u128,
+    last_event: u64,
+    /// Per-epoch arrivals (travels with the tenant; sums are global).
+    win_submitted: Vec<u64>,
+    /// Per-epoch attained service, keyed by completion window.
+    win_attained: Vec<u64>,
+}
+
+impl TenantState {
+    fn new(gid: usize, spec: &TenantSpec, wl: &Workload, n_win: usize) -> Self {
+        TenantState {
+            gid,
+            weight: spec.weight.max(1),
+            slo_ns: spec.slo_ns,
+            arrivals: tenant_arrivals(gid, spec, wl),
+            cursor: 0,
+            queue: VecDeque::new(),
+            deficit: 0,
+            stamp: 0,
+            swapped: false,
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            met: 0,
+            batches: 0,
+            attained_ns: 0,
+            energy_nj: 0.0,
+            lat_sum: 0,
+            max_lat: 0,
+            hist: LatencyHistogram::new(),
+            peak_depth: 0,
+            depth_area: 0,
+            last_event: 0,
+            win_submitted: vec![0; n_win],
+            win_attained: vec![0; n_win],
+        }
+    }
+}
+
+/// Earliest instant the tenant's head batch may dispatch: head arrival
+/// plus the batching window, or as soon as a full batch is queued —
+/// exactly the original `SimCore::candidate` readiness rule.
+fn tenant_ready(queue: &VecDeque<u64>, window_ns: u64, max_batch: usize) -> Option<u64> {
+    let head = *queue.front()?;
+    let mut ready = head.saturating_add(window_ns);
+    if queue.len() >= max_batch {
+        ready = ready.min(queue[max_batch - 1]);
+    }
+    Some(ready)
+}
+
+/// [`DrrAccess`] view over a shard's tenant map (split borrow: the ring
+/// and the map are disjoint fields).
+struct TenantView<'a> {
+    tenants: &'a mut BTreeMap<usize, TenantState>,
+    window_ns: u64,
+    max_batch: usize,
+}
+
+impl DrrAccess for TenantView<'_> {
+    fn ready_ns(&self, gid: usize) -> u64 {
+        let t = &self.tenants[&gid];
+        tenant_ready(&t.queue, self.window_ns, self.max_batch).unwrap_or(u64::MAX)
+    }
+
+    fn cost(&self, gid: usize) -> u64 {
+        self.tenants[&gid].queue.len().min(self.max_batch).max(1) as u64
+    }
+
+    fn weight(&self, gid: usize) -> u64 {
+        self.tenants[&gid].weight
+    }
+
+    fn deficit(&self, gid: usize) -> u64 {
+        self.tenants[&gid].deficit
+    }
+
+    fn set_deficit(&mut self, gid: usize, v: u64) {
+        self.tenants.get_mut(&gid).unwrap().deficit = v;
+    }
+}
+
+/// One shard-local scheduler. Between barriers it touches nothing
+/// outside itself, which is the entire parallelism argument.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    id: usize,
+    mode: SelectMode,
+    grid: WinGrid,
+    max_batch: usize,
+    window_ns: u64,
+    queue_depth: usize,
+    quantum: u64,
+    tenants: BTreeMap<usize, TenantState>,
+    ring: DrrRing,
+    /// Heap mode: min-heap over (ready_ns, gid), stamp-validated.
+    ready: StampedHeap,
+    /// Heap mode: min-heap over (next arrival, gid), cursor-validated.
+    arr_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    replicas: ReplicaPool,
+    total_queued: usize,
+    last_depth_event: u64,
+    makespan: u64,
+    dispatched: u64,
+    steals_in: u64,
+    steals_out: u64,
+    win_submitted: Vec<u64>,
+    win_rejected: Vec<u64>,
+    win_completed: Vec<u64>,
+    win_met: Vec<u64>,
+    win_batches: Vec<u64>,
+    win_depth_area: Vec<u128>,
+    win_peak: Vec<usize>,
+    win_hist: Vec<LatencyHistogram>,
+}
+
+impl Shard {
+    fn new(id: usize, cfg: &ShardConfig, grid: WinGrid) -> Self {
+        Shard {
+            id,
+            mode: cfg.mode,
+            grid,
+            max_batch: cfg.max_batch,
+            window_ns: cfg.batch_window_ns,
+            queue_depth: cfg.queue_depth,
+            quantum: cfg.quantum,
+            tenants: BTreeMap::new(),
+            ring: DrrRing::new(),
+            ready: StampedHeap::new(),
+            arr_heap: BinaryHeap::new(),
+            replicas: ReplicaPool::new(cfg.replicas_per_shard),
+            total_queued: 0,
+            last_depth_event: 0,
+            makespan: 0,
+            dispatched: 0,
+            steals_in: 0,
+            steals_out: 0,
+            win_submitted: vec![0; grid.n],
+            win_rejected: vec![0; grid.n],
+            win_completed: vec![0; grid.n],
+            win_met: vec![0; grid.n],
+            win_batches: vec![0; grid.n],
+            win_depth_area: vec![0; grid.n],
+            win_peak: vec![0; grid.n],
+            win_hist: vec![LatencyHistogram::new(); grid.n],
+        }
+    }
+
+    fn heap_mode(&self) -> bool {
+        self.mode == SelectMode::Heap
+    }
+
+    /// The earliest unconsumed arrival `(time, gid)` over owned tenants.
+    fn next_arrival(&mut self) -> Option<(u64, usize)> {
+        match self.mode {
+            SelectMode::LinearScan => self
+                .tenants
+                .iter()
+                .filter(|(_, t)| t.cursor < t.arrivals.len())
+                .map(|(&g, t)| (t.arrivals[t.cursor], g))
+                .min(),
+            SelectMode::Heap => loop {
+                let &Reverse((t, g)) = self.arr_heap.peek()?;
+                match self.tenants.get(&g) {
+                    Some(ts) if ts.cursor < ts.arrivals.len() && ts.arrivals[ts.cursor] == t => {
+                        return Some((t, g));
+                    }
+                    _ => {
+                        self.arr_heap.pop();
+                    }
+                }
+            },
+        }
+    }
+
+    /// The earliest instant any backlogged tenant's batch may dispatch.
+    fn ready_min(&mut self) -> Option<u64> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        match self.mode {
+            SelectMode::LinearScan => {
+                let (window_ns, max_batch) = (self.window_ns, self.max_batch);
+                self.ring
+                    .iter()
+                    .map(|g| {
+                        let t = &self.tenants[&g];
+                        (
+                            tenant_ready(&t.queue, window_ns, max_batch)
+                                .expect("ring tenant with empty queue"),
+                            g,
+                        )
+                    })
+                    .min()
+                    .map(|(r, _)| r)
+            }
+            SelectMode::Heap => {
+                let tenants = &self.tenants;
+                self.ready
+                    .peek_valid(|g| tenants.get(&g).map(|t| t.stamp).unwrap_or(u64::MAX))
+                    .map(|(r, _)| r)
+            }
+        }
+    }
+
+    /// The next dispatch `(instant, replica)` — `max` of the earliest
+    /// free replica and the earliest ready batch (the per-tenant
+    /// `max(ready, free)` minimized over tenants distributes to this).
+    fn next_dispatch(&mut self) -> Option<(u64, usize)> {
+        let (fmin, rid) = match self.mode {
+            SelectMode::LinearScan => self.replicas.scan_min(),
+            SelectMode::Heap => self.replicas.peek_min(),
+        }?;
+        let ready = self.ready_min()?;
+        Some((ready.max(fmin), rid))
+    }
+
+    /// Add a queue-depth span `[last_depth_event, now)` at the current
+    /// backlog to the window integral. Within an epoch, spans never
+    /// cross a window boundary (windows *are* epochs and barriers
+    /// settle); drain-tail spans all land in the last window.
+    fn settle_depth(&mut self, now: u64) {
+        let from = self.last_depth_event;
+        if now <= from {
+            return;
+        }
+        if self.total_queued > 0 {
+            let w = self.grid.window_of(from);
+            self.win_depth_area[w] += self.total_queued as u128 * (now - from) as u128;
+        }
+        self.last_depth_event = now;
+    }
+
+    /// Consume tenant `gid`'s next arrival: admission control, queue
+    /// push, ring/heap maintenance, depth accounting.
+    fn ingest(&mut self, gid: usize) {
+        let heap = self.heap_mode();
+        let (window_ns, max_batch) = (self.window_ns, self.max_batch);
+        if heap {
+            // The validated top entry is this arrival; replace it with
+            // the tenant's next one.
+            self.arr_heap.pop();
+        }
+        let t = self.tenants.get_mut(&gid).unwrap();
+        let at = t.arrivals[t.cursor];
+        t.cursor += 1;
+        let next = (t.cursor < t.arrivals.len()).then(|| t.arrivals[t.cursor]);
+        t.submitted += 1;
+        let w = self.grid.window_of(at);
+        t.win_submitted[w] += 1;
+        self.win_submitted[w] += 1;
+        if t.queue.len() >= self.queue_depth {
+            t.rejected += 1;
+            self.win_rejected[w] += 1;
+        } else {
+            // Tenant + shard depth integrals advance to the arrival.
+            let dt = at.saturating_sub(t.last_event);
+            t.depth_area += t.queue.len() as u128 * dt as u128;
+            t.last_event = at;
+            let was_empty = t.queue.is_empty();
+            t.queue.push_back(at);
+            t.peak_depth = t.peak_depth.max(t.queue.len());
+            let became_full = t.queue.len() == max_batch;
+            if was_empty || became_full {
+                // The tenant's ready instant changed (appeared, or
+                // dropped to "batch full"): version the heap entry.
+                t.stamp += 1;
+                let entry = heap.then(|| {
+                    (
+                        tenant_ready(&t.queue, window_ns, max_batch).unwrap(),
+                        t.stamp,
+                    )
+                });
+                if was_empty {
+                    self.ring.push(gid);
+                }
+                if let Some((rdy, stamp)) = entry {
+                    self.ready.push(rdy, gid, stamp);
+                }
+            }
+            self.settle_depth(at);
+            self.total_queued += 1;
+            self.win_peak[w] = self.win_peak[w].max(self.total_queued);
+        }
+        if heap {
+            if let Some(nt) = next {
+                self.arr_heap.push(Reverse((nt, gid)));
+            }
+        }
+    }
+
+    /// Dispatch one batch on replica `rid` at instant `at`: DRR selects
+    /// the tenant, the batch drains, and completion-side accounting
+    /// streams into the tenant and window accumulators.
+    fn dispatch(&mut self, specs: &[TenantSpec], rid: usize, at: u64) {
+        let (window_ns, max_batch, quantum) = (self.window_ns, self.max_batch, self.quantum);
+        let gid = {
+            let mut view = TenantView {
+                tenants: &mut self.tenants,
+                window_ns,
+                max_batch,
+            };
+            self.ring.select(&mut view, at, quantum)
+        };
+        self.settle_depth(at);
+        let (batch, emptied, swapped) = {
+            let t = self.tenants.get_mut(&gid).unwrap();
+            let dt = at.saturating_sub(t.last_event);
+            t.depth_area += t.queue.len() as u128 * dt as u128;
+            t.last_event = at;
+            let n = t.queue.len().min(max_batch);
+            let batch: Vec<u64> = t.queue.drain(..n).collect();
+            (batch, t.queue.is_empty(), t.swapped)
+        };
+        self.total_queued -= batch.len();
+        let spec = &specs[gid];
+        let dep = if swapped {
+            spec.alt_deployment.as_ref().expect("swapped without alt")
+        } else {
+            &spec.deployment
+        };
+        let n = batch.len();
+        let service = dep.service_ns(n);
+        let completion = at + service;
+        let w = self.grid.window_of(completion);
+        {
+            let t = self.tenants.get_mut(&gid).unwrap();
+            t.completed += n as u64;
+            t.batches += 1;
+            t.attained_ns += service;
+            t.win_attained[w] += service;
+            t.energy_nj += n as f64 * dep.energy_per_request_nj();
+            for &arr in &batch {
+                let l = completion - arr;
+                t.hist.record(l);
+                t.lat_sum += l as u128;
+                t.max_lat = t.max_lat.max(l);
+                if l <= t.slo_ns {
+                    t.met += 1;
+                    self.win_met[w] += 1;
+                }
+                self.win_hist[w].record(l);
+            }
+        }
+        self.win_completed[w] += n as u64;
+        self.win_batches[w] += 1;
+        {
+            let mut view = TenantView {
+                tenants: &mut self.tenants,
+                window_ns,
+                max_batch,
+            };
+            self.ring.served(&mut view, gid, emptied);
+        }
+        let t = self.tenants.get_mut(&gid).unwrap();
+        t.stamp += 1;
+        if !emptied && self.mode == SelectMode::Heap {
+            let rdy = tenant_ready(&t.queue, window_ns, max_batch).unwrap();
+            let stamp = t.stamp;
+            self.ready.push(rdy, gid, stamp);
+        }
+        self.replicas.set_free(rid, completion);
+        self.makespan = self.makespan.max(completion);
+        self.dispatched += 1;
+    }
+
+    /// Run the shard's recurrence up to (exclusive) `e_end`: arrivals at
+    /// or before the pending dispatch instant are ingested first —
+    /// identical to the original loop's "arrivals at the dispatch
+    /// instant join the batch" rule. `u64::MAX` drains everything.
+    pub(crate) fn step(&mut self, specs: &[TenantSpec], e_end: u64) {
+        loop {
+            let na = self.next_arrival();
+            let disp = self.next_dispatch();
+            if let Some((t, gid)) = na {
+                let take = match disp {
+                    Some((at, _)) if at < e_end => t <= at,
+                    _ => t < e_end,
+                };
+                if take {
+                    self.ingest(gid);
+                    continue;
+                }
+            }
+            match disp {
+                Some((at, rid)) if at < e_end => self.dispatch(specs, rid, at),
+                _ => break,
+            }
+        }
+    }
+
+    /// Detach tenant `gid` for migration. Its shard-side heap entries go
+    /// stale via the ownership check / stamp bump.
+    fn remove_tenant(&mut self, gid: usize) -> TenantState {
+        let mut t = self.tenants.remove(&gid).expect("migrating unknown tenant");
+        self.ring.remove(gid);
+        self.total_queued -= t.queue.len();
+        t.stamp += 1;
+        t
+    }
+
+    /// Attach a migrated tenant.
+    fn add_tenant(&mut self, mut t: TenantState) {
+        let gid = t.gid;
+        t.stamp += 1;
+        self.total_queued += t.queue.len();
+        if !t.queue.is_empty() {
+            self.ring.push(gid);
+            if self.heap_mode() {
+                let rdy = tenant_ready(&t.queue, self.window_ns, self.max_batch).unwrap();
+                self.ready.push(rdy, gid, t.stamp);
+            }
+        }
+        if self.heap_mode() && t.cursor < t.arrivals.len() {
+            self.arr_heap.push(Reverse((t.arrivals[t.cursor], gid)));
+        }
+        self.tenants.insert(gid, t);
+    }
+
+    /// Earliest-free active replica (mode-consistent tie-break).
+    fn min_free(&mut self) -> Option<(u64, usize)> {
+        match self.mode {
+            SelectMode::LinearScan => self.replicas.scan_min(),
+            SelectMode::Heap => self.replicas.peek_min(),
+        }
+    }
+}
+
+/// The assembled sharded simulation: shards plus barrier state. Public
+/// within the crate so the epoch-parallel driver in [`crate::parallel`]
+/// can step shards concurrently.
+pub(crate) struct ShardedSim<'a> {
+    pub(crate) specs: &'a [TenantSpec],
+    wl: Workload,
+    cfg: ShardConfig,
+    grid: WinGrid,
+    pub(crate) shards: Vec<Shard>,
+    engine: Option<AlertEngine>,
+    base_share: Vec<f64>,
+    cooldown: usize,
+    total_active: usize,
+    peak_active: usize,
+    scale_events: Vec<ScaleEvent>,
+    steal_events: Vec<StealEvent>,
+    swap_events: Vec<SwapEvent>,
+    epoch_signals: Vec<EpochSignal>,
+}
+
+/// The autoscaler's alert rules — shared with the post-hoc timeline in
+/// [`crate::telemetry`] so both evaluate the identical discipline.
+pub(crate) fn autoscale_rules(spec: &AutoscaleSpec) -> Vec<AlertRule> {
+    vec![
+        AlertRule::Threshold(
+            ThresholdRule::above(SCALE_UP_RULE, "epoch_queue_depth", spec.high_depth)
+                .for_samples(spec.for_epochs)
+                .clear_samples(spec.clear_epochs),
+        ),
+        AlertRule::Threshold(
+            ThresholdRule::below(SCALE_DOWN_RULE, "epoch_queue_depth", spec.low_depth)
+                .for_samples(spec.for_epochs)
+                .clear_samples(spec.clear_epochs),
+        ),
+        AlertRule::Threshold(
+            ThresholdRule::below(SCALE_SLO_RULE, "epoch_slo", spec.slo_floor)
+                .for_samples(spec.for_epochs)
+                .clear_samples(spec.clear_epochs),
+        ),
+    ]
+}
+
+/// An [`AlertEngine`] loaded with the autoscaler's rules.
+pub(crate) fn autoscale_engine(spec: &AutoscaleSpec) -> AlertEngine {
+    let mut e = AlertEngine::new();
+    for r in autoscale_rules(spec) {
+        e.add_rule(r);
+    }
+    e
+}
+
+impl<'a> ShardedSim<'a> {
+    pub(crate) fn new(specs: &'a [TenantSpec], wl: &Workload, cfg: &ShardConfig) -> Self {
+        cfg.validate();
+        let grid = WinGrid::new(wl.horizon_ns, cfg.epochs);
+        let mut shards: Vec<Shard> = (0..cfg.shards).map(|s| Shard::new(s, cfg, grid)).collect();
+        for (gid, spec) in specs.iter().enumerate() {
+            let t = TenantState::new(gid, spec, wl, grid.n);
+            shards[gid % cfg.shards].add_tenant(t);
+        }
+        let total_rate: f64 = specs.iter().map(|s| s.rate_rps).sum();
+        let base_share = specs
+            .iter()
+            .map(|s| {
+                if total_rate > 0.0 {
+                    s.rate_rps / total_rate
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let total_active = cfg.shards * cfg.replicas_per_shard;
+        ShardedSim {
+            specs,
+            wl: *wl,
+            cfg: *cfg,
+            grid,
+            shards,
+            engine: cfg.autoscale.as_ref().map(autoscale_engine),
+            base_share,
+            cooldown: 0,
+            total_active,
+            peak_active: total_active,
+            scale_events: Vec::new(),
+            steal_events: Vec::new(),
+            swap_events: Vec::new(),
+            epoch_signals: Vec::new(),
+        }
+    }
+
+    /// Barrier instants: epoch `e` ends at `(e+1)·win_len`, the last at
+    /// the horizon.
+    pub(crate) fn epoch_ends(&self) -> Vec<u64> {
+        (0..self.cfg.epochs)
+            .map(|e| self.grid.end_of(e, self.wl.horizon_ns))
+            .collect()
+    }
+
+    /// The epoch barrier: settle → steal → autoscale → swap, each in a
+    /// fixed deterministic order.
+    pub(crate) fn barrier(&mut self, epoch: usize, t_end: u64) {
+        for sh in &mut self.shards {
+            sh.settle_depth(t_end);
+        }
+        if self.cfg.steal.is_some() {
+            self.steal(epoch, t_end);
+        }
+        let sig = self.epoch_signal(epoch, t_end);
+        self.epoch_signals.push(sig);
+        if self.cfg.autoscale.is_some() {
+            self.autoscale(epoch, t_end, sig);
+        }
+        if self.cfg.swap.is_some() {
+            self.swap(epoch, t_end);
+        }
+    }
+
+    fn epoch_signal(&self, epoch: usize, t_end: u64) -> EpochSignal {
+        let start = self.grid.start_of(epoch);
+        let span = (t_end - start).max(1);
+        let area: u128 = self.shards.iter().map(|s| s.win_depth_area[epoch]).sum();
+        let completed: u64 = self.shards.iter().map(|s| s.win_completed[epoch]).sum();
+        let met: u64 = self.shards.iter().map(|s| s.win_met[epoch]).sum();
+        EpochSignal {
+            t_ns: t_end,
+            mean_queue_depth: area as f64 / span as f64,
+            slo_attainment: if completed == 0 {
+                1.0
+            } else {
+                met as f64 / completed as f64
+            },
+            backlog: self.shards.iter().map(|s| s.total_queued as u64).sum(),
+        }
+    }
+
+    /// Work stealing: pair idle thieves with backlogged victims
+    /// (ascending thief id; victims by descending backlog, ties to the
+    /// lower id) and migrate each victim's most backlogged tenant.
+    fn steal(&mut self, epoch: usize, t_end: u64) {
+        let spec = self.cfg.steal.unwrap();
+        let mut thieves: Vec<usize> = Vec::new();
+        let mut victims: Vec<(usize, usize)> = Vec::new(); // (backlog, id)
+        for s in 0..self.shards.len() {
+            let backlog = self.shards[s].total_queued;
+            let idle_replica = self.shards[s].min_free().is_some_and(|(f, _)| f <= t_end);
+            if backlog <= spec.max_thief_backlog && idle_replica {
+                thieves.push(s);
+            } else if backlog >= spec.min_victim_backlog && self.shards[s].tenants.len() >= 2 {
+                victims.push((backlog, s));
+            }
+        }
+        victims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (&thief, &(_, victim)) in thieves.iter().zip(victims.iter()) {
+            // Most backlogged tenant, ties to the lowest gid (BTreeMap
+            // iteration is ascending, strict `>` keeps the first max).
+            let Some((gid, moved)) = self.shards[victim]
+                .tenants
+                .iter()
+                .map(|(&g, t)| (t.queue.len(), g))
+                .fold(None, |best: Option<(usize, usize)>, (len, g)| match best {
+                    Some((bl, bg)) if bl >= len => Some((bl, bg)),
+                    _ => Some((len, g)),
+                })
+                .map(|(len, g)| (g, len))
+            else {
+                continue;
+            };
+            if moved == 0 {
+                continue;
+            }
+            let t = self.shards[victim].remove_tenant(gid);
+            self.shards[thief].add_tenant(t);
+            self.shards[victim].steals_out += 1;
+            self.shards[thief].steals_in += 1;
+            self.steal_events.push(StealEvent {
+                t_ns: t_end,
+                epoch,
+                tenant: gid,
+                from_shard: victim,
+                to_shard: thief,
+                moved_requests: moved,
+            });
+        }
+    }
+
+    fn autoscale(&mut self, epoch: usize, t_end: u64, sig: EpochSignal) {
+        let spec = self.cfg.autoscale.unwrap();
+        let engine = self.engine.as_mut().unwrap();
+        engine.observe(
+            t_end,
+            &[
+                ("epoch_queue_depth", sig.mean_queue_depth),
+                ("epoch_slo", sig.slo_attainment),
+            ],
+        );
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
+        }
+        let up = engine.is_firing(SCALE_UP_RULE) || engine.is_firing(SCALE_SLO_RULE);
+        let down = engine.is_firing(SCALE_DOWN_RULE);
+        if up && self.total_active < spec.max_replicas {
+            // Most backlogged shard gets the replica (ties → lowest id).
+            let sid = (0..self.shards.len())
+                .max_by_key(|&s| (self.shards[s].total_queued, Reverse(s)))
+                .unwrap();
+            let rid = self.shards[sid].replicas.add(t_end);
+            self.total_active += 1;
+            self.peak_active = self.peak_active.max(self.total_active);
+            self.cooldown = spec.cooldown_epochs;
+            self.scale_events.push(ScaleEvent {
+                t_ns: t_end,
+                epoch,
+                up: true,
+                shard: sid,
+                replica: rid,
+                active_after: self.total_active,
+            });
+        } else if down && !up && self.total_active > spec.min_replicas {
+            // Least backlogged shard that keeps ≥ 1 replica drains its
+            // highest-id active replica (in-flight work still completes:
+            // retirement only stops future dispatches).
+            let Some(sid) = (0..self.shards.len())
+                .filter(|&s| self.shards[s].replicas.active() >= 2)
+                .min_by_key(|&s| (self.shards[s].total_queued, s))
+            else {
+                return;
+            };
+            let rid = *self.shards[sid].replicas.active_ids().last().unwrap();
+            self.shards[sid].replicas.retire(rid);
+            self.total_active -= 1;
+            self.cooldown = spec.cooldown_epochs;
+            self.scale_events.push(ScaleEvent {
+                t_ns: t_end,
+                epoch,
+                up: false,
+                shard: sid,
+                replica: rid,
+                active_after: self.total_active,
+            });
+        }
+    }
+
+    /// Online strategy swap: one-way, per tenant, when the epoch share
+    /// drifts past the threshold. The remap pause starts at the barrier
+    /// (or when the chosen replica's in-flight batch drains, whichever
+    /// is later), so no request is lost: queued work simply waits.
+    fn swap(&mut self, epoch: usize, t_end: u64) {
+        let spec = self.cfg.swap.unwrap();
+        let total: u64 = self.shards.iter().map(|s| s.win_submitted[epoch]).sum();
+        if total < spec.min_epoch_requests {
+            return;
+        }
+        for gid in 0..self.specs.len() {
+            if self.specs[gid].alt_deployment.is_none() {
+                continue;
+            }
+            let owner = (0..self.shards.len())
+                .find(|&s| self.shards[s].tenants.contains_key(&gid))
+                .expect("tenant owned by no shard");
+            let t = &self.shards[owner].tenants[&gid];
+            if t.swapped {
+                continue;
+            }
+            let share = t.win_submitted[epoch] as f64 / total as f64;
+            let base = self.base_share[gid];
+            if share <= spec.share_factor * base {
+                continue;
+            }
+            let sh = &mut self.shards[owner];
+            sh.tenants.get_mut(&gid).unwrap().swapped = true;
+            let (free, rid) = sh.min_free().expect("shard without active replica");
+            sh.replicas.set_free(rid, free.max(t_end) + spec.remap_ns);
+            self.swap_events.push(SwapEvent {
+                t_ns: t_end,
+                epoch,
+                tenant: gid,
+                shard: owner,
+                replica: rid,
+                share,
+                base_share: base,
+            });
+        }
+    }
+
+    /// Assemble the final report (consumes the sim).
+    pub(crate) fn finish(mut self) -> ShardServingReport {
+        let n = self.specs.len();
+        let horizon = self.wl.horizon_ns;
+        let makespan = self
+            .shards
+            .iter()
+            .map(|s| s.makespan)
+            .max()
+            .unwrap_or(0)
+            .max(horizon);
+        let span_s = makespan as f64 * 1e-9;
+        // Collect tenants back out of their final shards, by gid.
+        let mut owners: Vec<usize> = vec![0; n];
+        let mut states: Vec<Option<TenantState>> = (0..n).map(|_| None).collect();
+        for sh in &mut self.shards {
+            let ids: Vec<usize> = sh.tenants.keys().copied().collect();
+            for gid in ids {
+                owners[gid] = sh.id;
+                states[gid] = Some(sh.tenants.remove(&gid).unwrap());
+            }
+        }
+        let states: Vec<TenantState> = states.into_iter().map(|t| t.unwrap()).collect();
+        let tenants: Vec<ShardTenantStats> = states
+            .iter()
+            .map(|t| ShardTenantStats {
+                name: self.specs[t.gid].name.clone(),
+                weight: t.weight,
+                shard: owners[t.gid],
+                submitted: t.submitted,
+                completed: t.completed,
+                rejected: t.rejected,
+                batches: t.batches,
+                p50_ns: t.hist.quantile(0.50),
+                p95_ns: t.hist.quantile(0.95),
+                p99_ns: t.hist.quantile(0.99),
+                max_ns: t.max_lat,
+                mean_ns: if t.completed == 0 {
+                    0.0
+                } else {
+                    t.lat_sum as f64 / t.completed as f64
+                },
+                slo_ns: t.slo_ns,
+                slo_attainment: if t.submitted == 0 {
+                    1.0
+                } else {
+                    t.met as f64 / t.submitted as f64
+                },
+                throughput_rps: if span_s > 0.0 {
+                    t.completed as f64 / span_s
+                } else {
+                    0.0
+                },
+                energy_nj: t.energy_nj,
+                attained_service_ns: t.attained_ns,
+                peak_queue_depth: t.peak_depth as u64,
+                mean_queue_depth: t.depth_area as f64 / makespan.max(1) as f64,
+                swapped: t.swapped,
+                histogram: t.hist.clone(),
+            })
+            .collect();
+        let fairness = jain_index(
+            states
+                .iter()
+                .filter(|t| t.submitted > 0)
+                .map(|t| t.attained_ns as f64 / t.weight as f64),
+        );
+        let windows: Vec<WindowStats> = (0..self.grid.n)
+            .map(|w| {
+                let start_ns = self.grid.start_of(w);
+                let end_ns = start_ns + self.grid.len;
+                let covered_to = if w + 1 == self.grid.n {
+                    makespan.max(end_ns)
+                } else {
+                    end_ns
+                };
+                let span = (covered_to - start_ns).max(1);
+                let sum = |f: &dyn Fn(&Shard) -> u64| -> u64 { self.shards.iter().map(f).sum() };
+                let submitted = sum(&|s| s.win_submitted[w]);
+                let rejected = sum(&|s| s.win_rejected[w]);
+                let completed = sum(&|s| s.win_completed[w]);
+                let met = sum(&|s| s.win_met[w]);
+                let batches = sum(&|s| s.win_batches[w]);
+                let area: u128 = self.shards.iter().map(|s| s.win_depth_area[w]).sum();
+                let mut hist = LatencyHistogram::new();
+                for s in &self.shards {
+                    hist.merge(&s.win_hist[w]);
+                }
+                WindowStats {
+                    index: w,
+                    start_ns,
+                    end_ns,
+                    submitted,
+                    rejected,
+                    completed,
+                    batches,
+                    mean_batch_size: if batches == 0 {
+                        0.0
+                    } else {
+                        completed as f64 / batches as f64
+                    },
+                    batch_occupancy: if batches == 0 {
+                        0.0
+                    } else {
+                        completed as f64 / (batches * self.cfg.max_batch as u64) as f64
+                    },
+                    slo_attainment: if completed == 0 {
+                        1.0
+                    } else {
+                        met as f64 / completed as f64
+                    },
+                    mean_queue_depth: area as f64 / span as f64,
+                    // Sum of per-shard peaks: an upper bound on the
+                    // global instantaneous backlog peak (shard clocks
+                    // are not aligned within an epoch).
+                    peak_queue_depth: self.shards.iter().map(|s| s.win_peak[w] as u64).sum(),
+                    downtime_ns: 0,
+                    fairness_index: jain_index(
+                        states
+                            .iter()
+                            .filter(|t| t.win_attained[w] > 0)
+                            .map(|t| t.win_attained[w] as f64 / t.weight as f64),
+                    ),
+                    histogram: hist,
+                }
+            })
+            .collect();
+        let total_submitted: u64 = tenants.iter().map(|t| t.submitted).sum();
+        let total_completed: u64 = tenants.iter().map(|t| t.completed).sum();
+        let total_rejected: u64 = tenants.iter().map(|t| t.rejected).sum();
+        let batches: u64 = tenants.iter().map(|t| t.batches).sum();
+        ShardServingReport {
+            seed: self.wl.seed,
+            horizon_ns: horizon,
+            makespan_ns: makespan,
+            shards: self.cfg.shards,
+            epochs: self.cfg.epochs,
+            replicas_initial: self.cfg.shards * self.cfg.replicas_per_shard,
+            replicas_final: self.total_active,
+            replicas_peak: self.peak_active,
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                total_completed as f64 / batches as f64
+            },
+            total_submitted,
+            total_completed,
+            total_rejected,
+            total_energy_nj: tenants.iter().map(|t| t.energy_nj).sum(),
+            aggregate_throughput_rps: if span_s > 0.0 {
+                total_completed as f64 / span_s
+            } else {
+                0.0
+            },
+            fairness_index: fairness,
+            tenants,
+            shard_stats: self
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    shard: s.id,
+                    tenants: 0, // re-filled below (tenants were drained)
+                    replicas_active: s.replicas.active(),
+                    replicas_total: s.replicas.len(),
+                    dispatched_batches: s.dispatched,
+                    steals_in: s.steals_in,
+                    steals_out: s.steals_out,
+                    makespan_ns: s.makespan,
+                })
+                .enumerate()
+                .map(|(sid, mut st)| {
+                    st.tenants = owners.iter().filter(|&&o| o == sid).count();
+                    st
+                })
+                .collect(),
+            windows,
+            epoch_signals: self.epoch_signals,
+            scale_events: self.scale_events,
+            steal_events: self.steal_events,
+            swap_events: self.swap_events,
+        }
+    }
+}
+
+/// Run the sharded simulation sequentially: step every shard to each
+/// barrier, run the barrier, then drain. The epoch-parallel driver in
+/// [`crate::parallel`] replays exactly this schedule with shards stepped
+/// concurrently between barriers.
+fn run_sequential(tenants: &[TenantSpec], wl: &Workload, cfg: &ShardConfig) -> ShardServingReport {
+    let _span = autohet_obs::trace::span("serve.run_sharded");
+    let mut sim = ShardedSim::new(tenants, wl, cfg);
+    let ends = sim.epoch_ends();
+    for (e, &end) in ends.iter().enumerate() {
+        for sh in &mut sim.shards {
+            sh.step(tenants, end);
+        }
+        sim.barrier(e, end);
+    }
+    for sh in &mut sim.shards {
+        sh.step(tenants, u64::MAX);
+    }
+    sim.finish()
+}
+
+/// The sharded serving runtime (heap-mode scheduler unless the config
+/// says otherwise).
+pub fn run_sharded(tenants: &[TenantSpec], wl: &Workload, cfg: &ShardConfig) -> ShardServingReport {
+    run_sequential(tenants, wl, cfg)
+}
+
+/// The linear-scan sequential reference: identical decisions through
+/// O(tenants)/O(replicas) scans — the baseline the bit-identity tests
+/// and the `BENCH_serve` speedup measure against.
+pub fn run_sharded_reference(
+    tenants: &[TenantSpec],
+    wl: &Workload,
+    cfg: &ShardConfig,
+) -> ShardServingReport {
+    let cfg = ShardConfig {
+        mode: SelectMode::LinearScan,
+        ..*cfg
+    };
+    run_sequential(tenants, wl, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use crate::workload::{BurstSpec, RampSpec};
+    use autohet_accel::AccelConfig;
+    use autohet_dnn::zoo;
+    use autohet_xbar::XbarShape;
+
+    fn deployment(model: autohet_dnn::Model, shape: XbarShape) -> Deployment {
+        let strategy = vec![shape; model.layers.len()];
+        Deployment::compile(&model.name, &model, &strategy, &AccelConfig::default())
+    }
+
+    fn fleet(n: usize) -> Vec<TenantSpec> {
+        let lenet = deployment(zoo::lenet5(), XbarShape::square(128));
+        let micro = deployment(zoo::micro_cnn(), XbarShape::square(128));
+        (0..n)
+            .map(|i| {
+                let dep = if i % 2 == 0 {
+                    lenet.clone()
+                } else {
+                    micro.clone()
+                };
+                let rate = 0.25 * dep.max_rate_rps() * (1.0 + (i % 3) as f64 * 0.5);
+                let slo = (8.0 * dep.pipeline.fill_ns) as u64;
+                let mut spec = TenantSpec::new(&format!("t{i}"), dep, rate, slo)
+                    .with_weight(1 + (i % 4) as u64);
+                if i % 5 == 0 {
+                    spec = spec.with_burst(BurstSpec {
+                        period_ns: 30_000_000,
+                        burst_ns: 6_000_000,
+                        factor: 5.0,
+                    });
+                }
+                spec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heap_mode_is_bit_identical_to_the_linear_scan_reference() {
+        let tenants = fleet(9);
+        let wl = Workload {
+            seed: 77,
+            horizon_ns: 60_000_000,
+        };
+        for shards in [1usize, 2, 3, 8] {
+            let cfg = ShardConfig {
+                shards,
+                replicas_per_shard: 2,
+                epochs: 12,
+                steal: Some(StealSpec::default()),
+                ..ShardConfig::default()
+            };
+            let heap = run_sharded(&tenants, &wl, &cfg);
+            let scan = run_sharded_reference(&tenants, &wl, &cfg);
+            assert_eq!(heap, scan, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn every_admitted_request_completes() {
+        let tenants = fleet(7);
+        let wl = Workload {
+            seed: 5,
+            horizon_ns: 50_000_000,
+        };
+        let cfg = ShardConfig {
+            shards: 3,
+            queue_depth: 4, // force rejections too
+            ..ShardConfig::default()
+        };
+        let r = run_sharded(&tenants, &wl, &cfg);
+        assert!(r.total_submitted > 0);
+        assert_eq!(r.lost_requests(), 0);
+        for t in &r.tenants {
+            assert_eq!(t.submitted, t.completed + t.rejected, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn stealing_migrates_tenants_and_preserves_totals() {
+        let tenants = fleet(8);
+        let wl = Workload {
+            seed: 11,
+            horizon_ns: 80_000_000,
+        };
+        let base = ShardConfig {
+            shards: 4,
+            epochs: 20,
+            ..ShardConfig::default()
+        };
+        let with_steal = ShardConfig {
+            steal: Some(StealSpec {
+                min_victim_backlog: 4,
+                max_thief_backlog: 1,
+            }),
+            ..base
+        };
+        let stolen = run_sharded(&tenants, &wl, &with_steal);
+        assert!(
+            !stolen.steal_events.is_empty(),
+            "expected at least one migration under an imbalanced fleet"
+        );
+        assert_eq!(stolen.lost_requests(), 0);
+        // Submission totals are workload-determined, identical with and
+        // without stealing; only queueing (and thus completion times)
+        // may differ.
+        let plain = run_sharded(&tenants, &wl, &base);
+        assert_eq!(plain.total_submitted, stolen.total_submitted);
+    }
+
+    #[test]
+    fn autoscaler_adds_replicas_under_burst_and_drains_after() {
+        let micro = deployment(zoo::micro_cnn(), XbarShape::square(128));
+        let rate = 0.9 * micro.max_rate_rps();
+        let slo = (10.0 * micro.pipeline.fill_ns) as u64;
+        // One tenant slams the single replica during a mid-run burst.
+        let tenants = vec![TenantSpec::new("hot", micro, rate, slo)
+            .with_burst(BurstSpec {
+                period_ns: 200_000_000,
+                burst_ns: 60_000_000,
+                factor: 6.0,
+            })
+            .with_weight(2)];
+        let wl = Workload {
+            seed: 9,
+            horizon_ns: 200_000_000,
+        };
+        let cfg = ShardConfig {
+            shards: 1,
+            epochs: 40,
+            queue_depth: 512,
+            autoscale: Some(AutoscaleSpec {
+                high_depth: 12.0,
+                // Post-burst batching keeps ~1 request in flight even
+                // over-provisioned, so the drain threshold sits above it.
+                low_depth: 2.0,
+                for_epochs: 2,
+                clear_epochs: 2,
+                min_replicas: 1,
+                max_replicas: 8,
+                cooldown_epochs: 0,
+                ..AutoscaleSpec::default()
+            }),
+            ..ShardConfig::default()
+        };
+        let r = run_sharded(&tenants, &wl, &cfg);
+        let ups = r.scale_events.iter().filter(|e| e.up).count();
+        let downs = r.scale_events.iter().filter(|e| !e.up).count();
+        assert!(ups >= 1, "no scale-up under engineered burst");
+        assert!(downs >= 1, "no drain after the burst passed");
+        assert!(r.replicas_peak > r.replicas_initial);
+        assert_eq!(r.lost_requests(), 0);
+        // Identical decisions in the reference mode.
+        let scan = run_sharded_reference(&tenants, &wl, &cfg);
+        assert_eq!(r, scan);
+    }
+
+    #[test]
+    fn drifting_mix_triggers_swap_with_zero_lost_requests() {
+        let lenet = deployment(zoo::lenet5(), XbarShape::square(128));
+        let micro = deployment(zoo::micro_cnn(), XbarShape::square(128));
+        let alt = deployment(zoo::lenet5(), XbarShape::new(256, 128));
+        let slo = (12.0 * lenet.pipeline.fill_ns) as u64;
+        let base_rate = 0.2 * lenet.max_rate_rps();
+        let tenants = vec![
+            TenantSpec::new("drifter", lenet, base_rate, slo)
+                .with_ramp(RampSpec {
+                    start_ns: 20_000_000,
+                    end_ns: 60_000_000,
+                    to_factor: 8.0,
+                })
+                .with_alt(alt),
+            TenantSpec::new("steady", micro.clone(), 0.4 * micro.max_rate_rps(), slo),
+        ];
+        let wl = Workload {
+            seed: 21,
+            horizon_ns: 120_000_000,
+        };
+        let cfg = ShardConfig {
+            shards: 2,
+            epochs: 24,
+            queue_depth: 4096,
+            swap: Some(SwapSpec {
+                share_factor: 1.5,
+                min_epoch_requests: 16,
+                remap_ns: 2_000_000,
+            }),
+            ..ShardConfig::default()
+        };
+        let r = run_sharded(&tenants, &wl, &cfg);
+        assert_eq!(r.swap_events.len(), 1, "expected exactly one swap");
+        assert!(r.tenants[0].swapped);
+        assert!(!r.tenants[1].swapped);
+        assert_eq!(r.lost_requests(), 0, "swap must not lose requests");
+        // The swap epoch comes after the drift onset.
+        assert!(r.swap_events[0].t_ns > 20_000_000);
+        // Bit-identical under the reference scheduler.
+        let scan = run_sharded_reference(&tenants, &wl, &cfg);
+        assert_eq!(r, scan);
+    }
+
+    #[test]
+    fn weights_shift_attained_service_under_contention() {
+        // Two identical tenants driving sustained overload against a
+        // bounded queue (so excess load is shed, not merely delayed),
+        // weights 1 vs 4: attained service splits along the weights.
+        let micro = deployment(zoo::micro_cnn(), XbarShape::square(128));
+        let rate = 3.0 * micro.max_rate_rps();
+        let slo = (6.0 * micro.pipeline.fill_ns) as u64;
+        let tenants = vec![
+            TenantSpec::new("light", micro.clone(), rate, slo).with_weight(1),
+            TenantSpec::new("heavy", micro.clone(), rate, slo).with_weight(4),
+        ];
+        let wl = Workload {
+            seed: 3,
+            horizon_ns: 60_000_000,
+        };
+        let cfg = ShardConfig {
+            shards: 1,
+            queue_depth: 16,
+            ..ShardConfig::default()
+        };
+        let r = run_sharded(&tenants, &wl, &cfg);
+        assert!(r.total_rejected > 0, "scenario must actually shed load");
+        let light = r.tenants[0].attained_service_ns as f64;
+        let heavy = r.tenants[1].attained_service_ns as f64;
+        assert!(
+            heavy > 2.0 * light,
+            "weight-4 tenant attained {heavy} vs weight-1 {light}"
+        );
+        assert!(r.fairness_index > 0.8, "weighted Jain {}", r.fairness_index);
+    }
+
+    #[test]
+    fn windows_line_up_with_epochs_and_conserve_counts() {
+        let tenants = fleet(5);
+        let wl = Workload {
+            seed: 42,
+            horizon_ns: 30_000_000,
+        };
+        let cfg = ShardConfig {
+            shards: 2,
+            epochs: 6,
+            ..ShardConfig::default()
+        };
+        let r = run_sharded(&tenants, &wl, &cfg);
+        assert_eq!(r.windows.len(), 6);
+        assert_eq!(r.epoch_signals.len(), 6);
+        let sub: u64 = r.windows.iter().map(|w| w.submitted).sum();
+        let comp: u64 = r.windows.iter().map(|w| w.completed).sum();
+        assert_eq!(sub, r.total_submitted);
+        assert_eq!(comp, r.total_completed);
+        for w in &r.windows {
+            assert!(w.fairness_index >= 0.0 && w.fairness_index <= 1.0);
+        }
+    }
+}

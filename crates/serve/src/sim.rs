@@ -12,6 +12,7 @@
 //! worker per replica ([`run_serving_parallel`](crate::parallel)).
 
 use crate::failure::FailurePlan;
+use crate::ready::ReplicaPool;
 use crate::report::{assemble_report, ServingReport};
 use crate::workload::{merge_arrivals, Arrival, TenantSpec, Workload};
 use serde::{Deserialize, Serialize};
@@ -277,6 +278,9 @@ pub(crate) struct BatchResult {
     /// produced no errors).
     pub errored: Vec<bool>,
     pub energy_nj: f64,
+    /// Busy replica-time the batch consumed (dispatch → completion) —
+    /// the "attained service" the fairness index aggregates.
+    pub service_ns: u64,
 }
 
 /// Queue/admission state shared by both execution modes.
@@ -648,17 +652,6 @@ impl SimCore {
     }
 }
 
-/// The earliest-free replica (ties: lowest id).
-pub(crate) fn argmin_replica(free: &[u64]) -> usize {
-    let mut best = 0;
-    for (r, &f) in free.iter().enumerate().skip(1) {
-        if f < free[best] {
-            best = r;
-        }
-    }
-    best
-}
-
 /// Turn a dispatched batch into its completed result.
 pub(crate) fn finish_batch(
     spec: &TenantSpec,
@@ -671,6 +664,7 @@ pub(crate) fn finish_batch(
         index: job.index,
         tenant: job.tenant,
         completion_ns,
+        service_ns: completion_ns.saturating_sub(job.start_ns),
         requests: job.requests,
         errored,
         energy_nj: n as f64 * spec.deployment.energy_per_request_nj(),
@@ -700,34 +694,37 @@ pub fn run_serving(tenants: &[TenantSpec], wl: &Workload, cfg: &ServeConfig) -> 
         cfg,
         wl.horizon_ns,
     );
-    let mut free = vec![0u64; cfg.replicas];
+    // Heap-backed replica free-list: O(log R) per update instead of the
+    // old `argmin_replica` O(R) scan, with the scan's exact lowest-id
+    // tie-break — decisions are unchanged bit for bit.
+    let mut pool = ReplicaPool::new(cfg.replicas);
     let mut batches = Vec::new();
     loop {
-        let r = argmin_replica(&free);
+        let (f, r) = pool.peek_min().expect("at least one replica");
         // Down at the earliest free instant: wait out the outage.
-        if let Some(up) = plan.down_until(r, free[r]) {
-            free[r] = up;
+        if let Some(up) = plan.down_until(r, f) {
+            pool.set_free(r, up);
             continue;
         }
-        let Some(at) = core.peek_dispatch(free[r]) else {
+        let Some(at) = core.peek_dispatch(f) else {
             break;
         };
         // Down at the dispatch instant: fail over without touching queues.
         if let Some(up) = plan.down_until(r, at) {
-            free[r] = up;
+            pool.set_free(r, up);
             continue;
         }
-        let job = core.next_batch(free[r]).expect("peeked batch vanished");
+        let job = core.next_batch(f).expect("peeked batch vanished");
         let spec = &tenants[job.tenant];
         let completion = job.start_ns + spec.deployment.service_ns(job.requests.len());
         match plan.outage_in(r, job.start_ns, completion) {
             Some(o) => {
-                free[r] = o.up_ns;
+                pool.set_free(r, o.up_ns);
                 core.requeue(job, o.down_ns, cfg.retry_deadline_ns);
             }
             None => {
                 let (errored, next_free) = core.apply_health(r, &job, completion);
-                free[r] = next_free;
+                pool.set_free(r, next_free);
                 batches.push(finish_batch(spec, job, completion, errored));
             }
         }

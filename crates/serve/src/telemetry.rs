@@ -3,13 +3,14 @@
 //! a metrics [`Registry`], and the report's window stream evaluated
 //! through the deterministic alert engine ([`alert_timeline`]).
 
-use crate::report::ServingReport;
+use crate::report::{ServingReport, WindowStats};
+use crate::shard::{autoscale_rules, AutoscaleSpec, ShardServingReport};
 use autohet_obs::alert::{AlertEngine, AlertRule, AlertTimeline, BurnRateRule, ThresholdRule};
 use autohet_obs::{Registry, Series};
 
 /// Column schema of [`window_series`] (name, unit), kept in one place so
 /// docs and exporters cannot drift apart.
-pub const WINDOW_COLUMNS: [(&str, &str); 13] = [
+pub const WINDOW_COLUMNS: [(&str, &str); 14] = [
     ("window", ""),
     ("start", "ns"),
     ("end", "ns"),
@@ -23,14 +24,13 @@ pub const WINDOW_COLUMNS: [(&str, &str); 13] = [
     ("mean_queue_depth", "req"),
     ("peak_queue_depth", "req"),
     ("downtime", "ns"),
+    ("fairness", ""),
 ];
 
-/// The report's per-window telemetry as a time-series table (one row per
-/// window, columns per [`WINDOW_COLUMNS`]). Empty when the run was
-/// configured without telemetry windows.
-pub fn window_series(report: &ServingReport) -> Series {
-    let mut s = Series::new("serving_windows", &WINDOW_COLUMNS);
-    for w in &report.windows {
+/// One row per [`WindowStats`], columns per [`WINDOW_COLUMNS`].
+fn windows_to_series(name: &str, windows: &[WindowStats]) -> Series {
+    let mut s = Series::new(name, &WINDOW_COLUMNS);
+    for w in windows {
         s.push(vec![
             w.index as f64,
             w.start_ns as f64,
@@ -45,9 +45,23 @@ pub fn window_series(report: &ServingReport) -> Series {
             w.mean_queue_depth,
             w.peak_queue_depth as f64,
             w.downtime_ns as f64,
+            w.fairness_index,
         ]);
     }
     s
+}
+
+/// The report's per-window telemetry as a time-series table (one row per
+/// window, columns per [`WINDOW_COLUMNS`]). Empty when the run was
+/// configured without telemetry windows.
+pub fn window_series(report: &ServingReport) -> Series {
+    windows_to_series("serving_windows", &report.windows)
+}
+
+/// Per-window telemetry of a sharded run (one row per epoch), same
+/// schema as [`window_series`].
+pub fn shard_window_series(report: &ShardServingReport) -> Series {
+    windows_to_series("shard_serving_windows", &report.windows)
 }
 
 /// Mirror a serving run's totals into `registry` under `prefix`:
@@ -159,6 +173,98 @@ pub fn alert_timeline(report: &ServingReport, cfg: &ServeAlertConfig) -> AlertTi
         );
     }
     engine.finish()
+}
+
+/// Alert timeline of a sharded run: the [`alert_timeline`] SLO-burn and
+/// queue-saturation rules over the epoch windows, plus — when the run
+/// was autoscaled — the *exact* autoscaler rules replayed over the
+/// recorded [`EpochSignal`]s (the runtime recorded its own inputs, so
+/// the replay's pending → firing → resolved transitions match what the
+/// autoscaler acted on, barrier for barrier). Scaling, stealing, and
+/// swap events land on the same timeline as annotations (`scale.up`,
+/// `scale.down`, `steal`, `swap`).
+///
+/// [`EpochSignal`]: crate::shard::EpochSignal
+pub fn shard_alert_timeline(
+    report: &ShardServingReport,
+    cfg: &ServeAlertConfig,
+    autoscale: Option<&AutoscaleSpec>,
+) -> AlertTimeline {
+    let mut engine = AlertEngine::new()
+        .with_rule(AlertRule::BurnRate(
+            BurnRateRule::new(SLO_BURN_RULE, "err_frac", cfg.slo_target, cfg.burn_factor)
+                .windows(cfg.short_windows, cfg.long_windows)
+                .clear_samples(cfg.clear_windows),
+        ))
+        .with_rule(AlertRule::Threshold(
+            ThresholdRule::above(
+                QUEUE_SATURATION_RULE,
+                "mean_queue_depth",
+                cfg.queue_depth_limit,
+            )
+            .clear_samples(cfg.clear_windows),
+        ));
+    if let Some(spec) = autoscale {
+        for rule in autoscale_rules(spec) {
+            engine.add_rule(rule);
+        }
+    }
+    for (w, sig) in report.windows.iter().zip(&report.epoch_signals) {
+        engine.observe(
+            w.end_ns,
+            &[
+                ("err_frac", 1.0 - w.slo_attainment),
+                ("mean_queue_depth", w.mean_queue_depth),
+                ("epoch_queue_depth", sig.mean_queue_depth),
+                ("epoch_slo", sig.slo_attainment),
+            ],
+        );
+    }
+    for e in &report.scale_events {
+        let label = if e.up { "scale.up" } else { "scale.down" };
+        engine.annotate(e.t_ns, label, e.active_after as f64);
+    }
+    for e in &report.steal_events {
+        engine.annotate(e.t_ns, "steal", e.tenant as f64);
+    }
+    for e in &report.swap_events {
+        engine.annotate(e.t_ns, "swap", e.tenant as f64);
+    }
+    engine.finish()
+}
+
+/// Mirror a sharded run's totals into `registry` under `prefix`:
+/// request/batch counters, steal/scale/swap event counters, replica
+/// gauges, and the merged latency histogram.
+pub fn publish_shard_report(report: &ShardServingReport, registry: &Registry, prefix: &str) {
+    let c = |name: &str, v: u64| registry.counter(&format!("{prefix}.{name}")).add(v);
+    c("submitted", report.total_submitted);
+    c("completed", report.total_completed);
+    c("rejected", report.total_rejected);
+    c("batches", report.batches);
+    c("steals", report.steal_events.len() as u64);
+    c("swaps", report.swap_events.len() as u64);
+    c(
+        "scale_ups",
+        report.scale_events.iter().filter(|e| e.up).count() as u64,
+    );
+    c(
+        "scale_downs",
+        report.scale_events.iter().filter(|e| !e.up).count() as u64,
+    );
+    registry
+        .gauge(&format!("{prefix}.shards"))
+        .set(report.shards as i64);
+    registry
+        .gauge(&format!("{prefix}.replicas"))
+        .set(report.replicas_final as i64);
+    let mut hist = crate::report::LatencyHistogram::new();
+    for t in &report.tenants {
+        hist.merge(&t.histogram);
+    }
+    registry
+        .histogram(&format!("{prefix}.latency_ns"))
+        .merge_bins(&hist.bins);
 }
 
 #[cfg(test)]
@@ -279,6 +385,7 @@ mod tests {
             replica_recovery_ns: vec![0],
             total_energy_nj: 0.0,
             aggregate_throughput_rps: 0.0,
+            fairness_index: 1.0,
             tenants: Vec::new(),
             windows,
             health_events: Vec::new(),
@@ -300,6 +407,7 @@ mod tests {
             mean_queue_depth: depth,
             peak_queue_depth: depth.ceil() as u64,
             downtime_ns: 0,
+            fairness_index: 1.0,
             histogram: crate::report::LatencyHistogram::new(),
         }
     }

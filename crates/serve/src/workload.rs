@@ -25,6 +25,34 @@ pub struct BurstSpec {
     pub factor: f64,
 }
 
+/// A one-way linear rate drift: the tenant's rate factor ramps from 1.0
+/// at `start_ns` to `to_factor` at `end_ns` and stays there. Composed
+/// multiplicatively with any [`BurstSpec`]. This is the workload-mix
+/// drift that triggers online strategy swap in the sharded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RampSpec {
+    /// Drift onset [ns].
+    pub start_ns: u64,
+    /// Instant the ramp completes [ns] (> `start_ns`).
+    pub end_ns: u64,
+    /// Final rate multiplier (> 0).
+    pub to_factor: f64,
+}
+
+impl RampSpec {
+    /// The rate multiplier in force at instant `t`.
+    pub fn factor_at(&self, t: u64) -> f64 {
+        if t < self.start_ns {
+            1.0
+        } else if t >= self.end_ns {
+            self.to_factor
+        } else {
+            let frac = (t - self.start_ns) as f64 / (self.end_ns - self.start_ns) as f64;
+            1.0 + (self.to_factor - 1.0) * frac
+        }
+    }
+}
+
 /// One tenant of the serving deployment: a compiled model plus its
 /// traffic contract.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,10 +68,20 @@ pub struct TenantSpec {
     pub slo_ns: u64,
     /// Optional periodic burst pattern.
     pub burst: Option<BurstSpec>,
+    /// Fair-share weight for deficit-round-robin scheduling (≥ 1). Under
+    /// contention a tenant's attained service is proportional to its
+    /// weight; the FIFO runtime ignores it.
+    pub weight: u64,
+    /// Optional linear rate drift (workload-mix change over the run).
+    pub ramp: Option<RampSpec>,
+    /// Optional alternative compiled strategy the sharded runtime may
+    /// swap this tenant onto mid-run when its traffic share drifts past
+    /// the configured threshold (ARAS-style online remapping).
+    pub alt_deployment: Option<Deployment>,
 }
 
 impl TenantSpec {
-    /// A steady (burst-free) tenant.
+    /// A steady (burst-free) tenant with weight 1.
     pub fn new(name: &str, deployment: Deployment, rate_rps: f64, slo_ns: u64) -> Self {
         assert!(rate_rps >= 0.0, "negative rate");
         assert!(slo_ns > 0, "zero SLO");
@@ -53,6 +91,9 @@ impl TenantSpec {
             rate_rps,
             slo_ns,
             burst: None,
+            weight: 1,
+            ramp: None,
+            alt_deployment: None,
         }
     }
 
@@ -61,6 +102,27 @@ impl TenantSpec {
         assert!(burst.period_ns > 0 && burst.burst_ns <= burst.period_ns);
         assert!(burst.factor > 0.0);
         self.burst = Some(burst);
+        self
+    }
+
+    /// Set the DRR fair-share weight (≥ 1).
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        assert!(weight >= 1, "zero weight");
+        self.weight = weight;
+        self
+    }
+
+    /// Attach a linear rate ramp (workload-mix drift).
+    pub fn with_ramp(mut self, ramp: RampSpec) -> Self {
+        assert!(ramp.end_ns > ramp.start_ns, "empty ramp");
+        assert!(ramp.to_factor > 0.0, "non-positive ramp factor");
+        self.ramp = Some(ramp);
+        self
+    }
+
+    /// Attach an alternative strategy for online swap.
+    pub fn with_alt(mut self, alt: Deployment) -> Self {
+        self.alt_deployment = Some(alt);
         self
     }
 }
@@ -105,6 +167,12 @@ pub fn tenant_arrivals(tenant: usize, spec: &TenantSpec, wl: &Workload) -> Vec<u
         let factor = match spec.burst {
             Some(b) if (t as u64) % b.period_ns < b.burst_ns => b.factor,
             _ => 1.0,
+        };
+        // Ramp-free tenants keep their exact historical streams (the
+        // `None` arm leaves `factor` untouched, bit for bit).
+        let factor = match spec.ramp {
+            Some(r) => factor * r.factor_at(t as u64),
+            None => factor,
         };
         let u: f64 = rng.gen();
         // u ∈ [0, 1) ⇒ 1 − u ∈ (0, 1] ⇒ gap finite and ≥ 0.

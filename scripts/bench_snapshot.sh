@@ -4,6 +4,8 @@
 #   search   → BENCH_search.json    (300-round end-to-end search drivers)
 #   noise    → BENCH_noise.json     (device-variation kernels + MC evaluator)
 #   lifetime → BENCH_lifetime.json  (drift snapshots + degraded epoch evals)
+#   serve    → BENCH_serve.json     (sharded runtime: a simulated day of
+#                                    fleet traffic, scan vs heap scheduler)
 #
 # The shared CI box is noisy (throttling plus neighbors), so each snapshot
 # runs its whole bench group REPS times — sequential and vectorized search
@@ -18,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 REPS="${1:-5}"
 shift || true
-if [ $# -eq 0 ]; then BENCHES=(kernels search noise lifetime); else BENCHES=("$@"); fi
+if [ $# -eq 0 ]; then BENCHES=(kernels search noise lifetime serve); else BENCHES=("$@"); fi
 
 snapshot() {
   local bench="$1" out="$2"
@@ -27,7 +29,7 @@ snapshot() {
   for i in $(seq 1 "$REPS"); do
     echo "bench_snapshot[$bench]: run $i/$REPS" >&2
     cargo bench -p autohet-bench --bench "$bench" 2>/dev/null \
-      | grep -E '^bench .*: [0-9]+ ns/iter' >>"$tmp" || true
+      | grep -E '^(bench .*: [0-9]+ ns/iter|serve_meta .*)' >>"$tmp" || true
   done
   python3 - "$tmp" "$out" "$REPS" "$bench" <<'PY'
 import json, re, subprocess, sys
@@ -93,6 +95,28 @@ if bench == "noise":
             derived[f"speedup_fast_vs_{other}"] = round(ns / fast, 2)
     snapshot["derived"] = derived
 
+if bench == "serve_scale":
+    # Headline claim of the sharded runtime (DESIGN.md §14 acceptance:
+    # ≥3×): the 8-shard heap scheduler must beat the 1-shard linear-scan
+    # reference on the same simulated day of fleet traffic. The bench's
+    # serve_meta line records the workload scale the claim was earned on.
+    derived = {}
+    scan1 = best.get("serve/day/scan_shard1")
+    heap1 = best.get("serve/day/heap_shard1")
+    heap8 = best.get("serve/day/heap_shard8")
+    if scan1 and heap8:
+        derived["speedup_heap8_vs_scan1"] = round(scan1 / heap8, 2)
+    if scan1 and heap1:
+        derived["speedup_heap1_vs_scan1"] = round(scan1 / heap1, 2)
+    for line in open(tmp):
+        m = re.match(r"serve_meta (.+)", line)
+        if m:
+            for kv in m.group(1).split():
+                k, v = kv.split("=", 1)
+                derived[k] = int(v)
+            break
+    snapshot["derived"] = derived
+
 if bench == "lifetime":
     # The per-epoch memo is the campaign's speed lever: a warm epoch
     # (revisited for another recovery arm) must be much cheaper than the
@@ -116,7 +140,8 @@ for b in "${BENCHES[@]}"; do
     search) snapshot search BENCH_search.json ;;
     noise) snapshot noise BENCH_noise.json ;;
     lifetime) snapshot lifetime BENCH_lifetime.json ;;
-    *) echo "bench_snapshot: unknown bench '$b' (kernels|search|noise|lifetime)" >&2; exit 1 ;;
+    serve) snapshot serve_scale BENCH_serve.json ;;
+    *) echo "bench_snapshot: unknown bench '$b' (kernels|search|noise|lifetime|serve)" >&2; exit 1 ;;
   esac
 done
 

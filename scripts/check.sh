@@ -13,6 +13,7 @@ cargo bench -p autohet-bench --bench kernels -- --test >/dev/null
 cargo bench -p autohet-bench --bench search -- --test >/dev/null
 cargo bench -p autohet-bench --bench noise -- --test >/dev/null
 cargo bench -p autohet-bench --bench lifetime -- --test >/dev/null
+cargo bench -p autohet-bench --bench serve_scale -- --test >/dev/null
 cargo fmt --check
 # --all-targets lints tests, examples, and benches too, not just lib code.
 cargo clippy --workspace --all-targets -- -D warnings
@@ -56,6 +57,11 @@ if target/release/regress --baseline BENCH_kernels.json \
      --current target/BENCH_kernels_injected.json --hard >/dev/null; then
   echo "regress smoke: hard mode missed an injected 25% slowdown" >&2; exit 1
 fi
+# The sentinel also covers the sharded-runtime snapshot's rows.
+target/release/regress --baseline BENCH_serve.json --current BENCH_serve.json \
+  --out target/regress_serve.jsonl
+grep -q '"kind":"summary"' target/regress_serve.jsonl \
+  || { echo "regress smoke: serve snapshot missing its summary line" >&2; exit 1; }
 
 # Robustness smoke: the NSGA-II study must run end to end, emit its
 # artifacts, and find a noise-robust pick distinct from the noise-blind
@@ -77,3 +83,24 @@ for f in rows.csv summary.txt; do
 done
 grep -q '^full_cascade_beats_no_recovery: true$' target/lifetime_smoke/summary.txt \
   || { echo "lifetime smoke: full cascade failed to dominate no-recovery" >&2; exit 1; }
+
+# Sharded-runtime smoke: a scaled-down day of fleet traffic plus the
+# engineered burst and drift scenarios must run end to end — the
+# autoscaler has to both add and drain replicas, the online strategy
+# swap has to fire without losing a request, and every artifact must
+# land (CI uploads target/serve_smoke for inspection).
+cargo run --release -p autohet --example serve_scale -- --smoke --out target/serve_smoke
+for f in summary.txt shard_windows.csv shard_windows.jsonl \
+         shard_alerts.jsonl shard_alerts.csv metrics.txt; do
+  [ -s "target/serve_smoke/$f" ] || { echo "missing serve artifact: $f" >&2; exit 1; }
+done
+grep -Eq '^scale_up_events: [1-9]' target/serve_smoke/summary.txt \
+  || { echo "serve smoke: autoscaler never scaled up" >&2; exit 1; }
+grep -Eq '^scale_down_events: [1-9]' target/serve_smoke/summary.txt \
+  || { echo "serve smoke: autoscaler never drained after the burst" >&2; exit 1; }
+grep -Eq '^swap_events: [1-9]' target/serve_smoke/summary.txt \
+  || { echo "serve smoke: drifting mix never triggered a strategy swap" >&2; exit 1; }
+grep -q '^lost_requests: 0$' target/serve_smoke/summary.txt \
+  || { echo "serve smoke: the runtime lost requests" >&2; exit 1; }
+grep -q '"rule":"serve.scale_up"' target/serve_smoke/shard_alerts.jsonl \
+  || { echo "serve smoke: autoscaler rules missing from the alert timeline" >&2; exit 1; }

@@ -69,6 +69,47 @@ fn serving_report_is_reproducible_through_the_public_prelude() {
 }
 
 #[test]
+fn sharded_runtime_serves_searched_strategies_end_to_end() {
+    use autohet::search::greedy::greedy_layerwise_rue;
+    let model = autohet_dnn::zoo::lenet5();
+    let cfg = AccelConfig::default();
+    let het = greedy_layerwise_rue(&model, &paper_hybrid_candidates(), &cfg).strategy;
+    let d = Deployment::compile("lenet/autohet", &model, &het, &cfg);
+    let rate = 0.4 * d.max_rate_rps();
+    let slo = (8.0 * d.pipeline.fill_ns) as u64;
+    let tenants: Vec<TenantSpec> = (0..4)
+        .map(|i| TenantSpec::new(&format!("t{i}"), d.clone(), rate, slo).with_weight(1 + i as u64))
+        .collect();
+    let wl = Workload {
+        seed: 13,
+        horizon_ns: 40_000_000,
+    };
+    let shard_cfg = ShardConfig {
+        shards: 2,
+        epochs: 8,
+        ..ShardConfig::default()
+    };
+    let r = run_sharded(&tenants, &wl, &shard_cfg);
+    assert_eq!(r, run_sharded_reference(&tenants, &wl, &shard_cfg));
+    assert_eq!(r.lost_requests(), 0);
+    assert!(r.total_completed > 0);
+    assert_eq!(r.windows.len(), shard_cfg.epochs);
+    assert!(r.fairness_index > 0.0 && r.fairness_index <= 1.0);
+    // The searched strategy's report conserves per-tenant counts.
+    for t in &r.tenants {
+        assert_eq!(t.submitted, t.completed + t.rejected, "{}", t.name);
+    }
+}
+
+#[test]
+fn serving_study_rows_carry_the_fairness_schema() {
+    // Single-tenant study rows sit at the Jain-index fixed point 1.0 —
+    // the schema matches ServingReport::fairness_index by construction.
+    let rows = serving_study(&autohet_dnn::zoo::micro_cnn(), 0.8, 3);
+    assert!(rows.iter().all(|r| r.fairness_index == 1.0), "{rows:?}");
+}
+
+#[test]
 fn bursty_tenant_degrades_its_own_slo_not_its_neighbor_throughput() {
     let model = autohet_dnn::zoo::lenet5();
     let cfg = AccelConfig::default();
